@@ -1,0 +1,88 @@
+"""Ablation A5 — related-work baselines at the model level.
+
+Compares, on a four-stage pipeline with equal stage logic:
+
+* the paper's overlapping de-synchronization model (Figure 3/4);
+* the non-overlapping local-clocking baseline (strict alternation);
+* the doubly-latched asynchronous pipeline (Kol & Ginosar, the paper's
+  reference [3]).
+
+Expected shape: overlap ~ one stage delay per cycle; non-overlap pays
+roughly double; DLAP matches the throughput class of overlap (it *is*
+an overlapped master/slave chain) at twice the controller cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_out
+from repro.baselines import (
+    dlap_controller_count,
+    dlap_pipeline,
+    nonoverlap_pipeline,
+)
+from repro.petri import cycle_time
+from repro.report import TextTable
+from repro.stg import linear_pipeline
+
+STAGES = 4
+STAGE_DELAY = 1000.0
+CONTROLLER_DELAY = 80.0
+
+
+def _models():
+    overlap = linear_pipeline([f"L{i}" for i in range(STAGES)],
+                              stage_delay=STAGE_DELAY,
+                              controller_delay=CONTROLLER_DELAY)
+    nonoverlap = nonoverlap_pipeline([f"L{i}" for i in range(STAGES)],
+                                     stage_delay=STAGE_DELAY,
+                                     controller_delay=CONTROLLER_DELAY)
+    dlap = dlap_pipeline(STAGES, STAGE_DELAY,
+                         controller_delay=CONTROLLER_DELAY)
+    return overlap, nonoverlap, dlap
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a5_baselines(benchmark):
+    overlap, nonoverlap, dlap = benchmark.pedantic(_models, rounds=1,
+                                                   iterations=1)
+    for model in (overlap, nonoverlap, dlap):
+        model.check_structure()
+        assert model.is_live()
+        model.check_consistency()
+
+    overlap_ct = cycle_time(overlap).cycle_time
+    nonoverlap_ct = cycle_time(nonoverlap).cycle_time
+    dlap_ct = cycle_time(dlap).cycle_time
+
+    table = TextTable("A5 - related-work baselines (4-stage pipeline)",
+                      ["scheme", "cycle (ps)", "controllers"])
+    table.add_row("de-sync (overlap, paper)", f"{overlap_ct:.0f}", STAGES)
+    table.add_row("non-overlapping clocks", f"{nonoverlap_ct:.0f}", STAGES)
+    table.add_row("DLAP (Kol & Ginosar)", f"{dlap_ct:.0f}",
+                  dlap_controller_count(STAGES))
+    table.print()
+    write_out("ablation_a5.txt", table.render())
+
+    # Non-overlap strictly serializes one extra handshake per stage.
+    assert nonoverlap_ct > overlap_ct + 0.5 * CONTROLLER_DELAY
+    # DLAP is in the overlapped throughput class (within controller
+    # overheads) but needs twice the controllers.
+    assert dlap_ct < 1.5 * overlap_ct
+    assert dlap_controller_count(STAGES) == 2 * STAGES
+
+    # The non-overlap penalty is relative: it dominates exactly when
+    # stages are fine-grained (stage delay comparable to the controller
+    # response), the regime the paper's overlapping protocol targets.
+    ratios = []
+    for stage in (100.0, 400.0, 2000.0):
+        over = cycle_time(linear_pipeline(
+            [f"L{i}" for i in range(STAGES)], stage_delay=stage,
+            controller_delay=CONTROLLER_DELAY)).cycle_time
+        non = cycle_time(nonoverlap_pipeline(
+            [f"L{i}" for i in range(STAGES)], stage_delay=stage,
+            controller_delay=CONTROLLER_DELAY)).cycle_time
+        ratios.append(non / over)
+    assert ratios[0] > ratios[-1]  # penalty shrinks with coarser stages
+    assert ratios[0] > 1.2

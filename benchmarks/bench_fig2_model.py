@@ -1,0 +1,96 @@
+"""Figure 2 — a synchronous netlist and its de-synchronization model.
+
+The paper's Figure 2 shows a seven-latch netlist (A..G, even and odd
+phases, with forks and joins) and the marked graph obtained by composing
+the Figure-4 patterns over its latch adjacencies.  The exact example
+netlist is reconstructed from the figure's structure: a fork at B, a
+join at G, alternating parities along every path.
+
+The bench builds the latch netlist, derives the composed model with
+:func:`repro.stg.build_model`, validates the properties reference [1]
+proves (liveness, consistency, boundedness), and checks the composition
+equals the sum of its pairwise patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_out
+from repro.netlist import Netlist
+from repro.petri import cycle_time, marked_graph_to_dot
+from repro.stg import build_model, extract_banks, latch_adjacency, Parity
+
+
+def figure2_netlist() -> Netlist:
+    """Seven latch banks A..G with a fork at B and a join at G."""
+    netlist = Netlist("fig2")
+    clk = netlist.add_input("clk", clock=True)
+    din = netlist.add_input("din")
+
+    def latch(name: str, parity: Parity, data) -> object:
+        cell = "LATCH_L" if parity is Parity.EVEN else "LATCH_H"
+        inst = netlist.add(cell, name=f"{name}/b", D=data, EN=clk,
+                           Q=f"q_{name}")
+        return inst.output_net()
+
+    qa = latch("A", Parity.EVEN, din)
+    a_inv = netlist.add_gate("INV", [qa], name="cl_ab")
+    qb = latch("B", Parity.ODD, a_inv)
+    b_inv1 = netlist.add_gate("INV", [qb], name="cl_bc")
+    qc = latch("C", Parity.EVEN, b_inv1)
+    b_inv2 = netlist.add_gate("BUF", [qb], name="cl_be")
+    qe = latch("E", Parity.EVEN, b_inv2)
+    c_inv = netlist.add_gate("INV", [qc], name="cl_cd")
+    qd = latch("D", Parity.ODD, c_inv)
+    e_inv = netlist.add_gate("INV", [qe], name="cl_ef")
+    qf = latch("F", Parity.ODD, e_inv)
+    join = netlist.add_gate("AND2", [qd, qf], name="cl_dfg")
+    qg = latch("G", Parity.EVEN, join)
+    netlist.add_output(qg.name)
+    netlist.validate()
+    return netlist
+
+
+def _build():
+    netlist = figure2_netlist()
+    banks = extract_banks(netlist)
+    adjacency = latch_adjacency(netlist, banks)
+    model = build_model(netlist, delay_fn=lambda p, s: 500.0,
+                        controller_delay=50.0, banks=banks,
+                        adjacency=adjacency)
+    return netlist, banks, adjacency, model
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_desync_model(benchmark):
+    netlist, banks, adjacency, model = benchmark.pedantic(
+        _build, rounds=1, iterations=1)
+
+    # The figure's structure: 7 latches, fork at B, join at G.
+    assert set(banks) == {"A", "B", "C", "D", "E", "F", "G"}
+    assert ("A", "B") in adjacency
+    assert ("B", "C") in adjacency and ("B", "E") in adjacency
+    assert ("D", "G") in adjacency and ("F", "G") in adjacency
+    assert len(adjacency) == 7
+
+    # Parities alternate along every data edge.
+    for pred, succ in adjacency:
+        assert banks[pred].parity is banks[succ].parity.opposite
+
+    # One rise and one fall transition per latch (the figure's 14
+    # transitions), composed per the Figure-4 patterns.
+    assert len(model.transitions) == 14
+    model.check_model()
+
+    # The timed model has a finite steady cycle (the composed graph is
+    # strongly covered by token-bearing cycles).
+    result = cycle_time(model)
+    assert result.cycle_time > 0
+
+    write_out("fig2_model.dot", marked_graph_to_dot(model))
+    write_out("fig2_summary.txt",
+              f"transitions: {sorted(model.transitions)}\n"
+              f"adjacency: {sorted(adjacency)}\n"
+              f"cycle time: {result.cycle_time:.0f} ps\n"
+              f"critical cycle: {result.critical_cycle}")

@@ -1,0 +1,124 @@
+"""Table 1 — Synchronous vs. de-synchronized DLX.
+
+Regenerates the paper's headline comparison: cycle time, dynamic power
+and area of the same DLX implemented synchronously (global clock tree)
+and de-synchronized (handshake fabric).  The paper measured a 0.18 um
+post-layout implementation (4.40 ns / 70.9 mW / 372,656 um^2 sync vs
+4.45 ns / 71.2 mW / 378,058 um^2 de-synchronized); this reproduction
+checks the *shape*: near-unity ratios with a small de-synchronization
+overhead on cycle time and area.
+
+Method (see DESIGN.md section 4, experiment T1):
+
+* cycle time: STA-derived period for the synchronous core; maximum cycle
+  ratio of the timed handshake model for the de-synchronized one;
+* power: logic/sequential switching energy from a cycle-accurate run of
+  the benchmark program (flow equivalence makes the data-path activity
+  identical in both designs), plus the H-tree clock model (sync) or the
+  handshake-fabric energy (desync), each at its own cycle time;
+* area: netlist cell area plus clock-tree buffers (sync) — the
+  de-synchronized netlist already contains its fabric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_out
+from repro.dlx import DlxSystem, load
+from repro.power import (
+    build_clock_tree,
+    dynamic_power,
+    fabric_power_mw,
+    from_cycle_simulation,
+)
+from repro.report import TextTable
+
+PAPER = {
+    "cycle_ratio": 4.45 / 4.40,
+    "power_ratio": 71.2 / 70.9,
+    "area_ratio": 378_058 / 372_656,
+}
+
+
+def _table1(core, result):
+    sync_period = result.sync_period()
+    desync_cycle = result.desync_cycle_time().cycle_time
+
+    program, data = load("fibonacci")
+    system = DlxSystem(core, program, data)
+    run = system.run_sync(max_cycles=400)
+    assert run.halted
+    activity = from_cycle_simulation(core.netlist, run.toggles,
+                                     run.cycles, sync_period)
+
+    library = core.netlist.library
+    n_sinks = len(core.netlist.dff_instances())
+    die_area = core.netlist.total_area() * 2.0  # cells at ~50 % utilization
+    tree = build_clock_tree(n_sinks, library["DFF"].input_cap, die_area,
+                            library)
+
+    sync_power = dynamic_power(core.netlist, activity, clock_tree=tree,
+                               period_ps=sync_period)
+    logic_groups = {k: v for k, v in sync_power.groups.items()
+                    if k != "clock_tree"}
+    logic_energy_per_cycle = (sum(logic_groups.values())
+                              * sync_period)  # mW * ps == fJ per cycle
+    from repro.power.power import fabric_cycle_energy
+    desync_power_mw = ((logic_energy_per_cycle
+                        + fabric_cycle_energy(result.network))
+                       / desync_cycle)
+    sync_area = core.netlist.total_area() + tree.area_um2
+    desync_area = result.desync_netlist.total_area()
+    return {
+        "sync_cycle": sync_period,
+        "desync_cycle": desync_cycle,
+        "sync_power": sync_power.total_mw,
+        "desync_power": desync_power_mw,
+        "sync_area": sync_area,
+        "desync_area": desync_area,
+        "clock_tree_mw": sync_power.group("clock_tree"),
+        "fabric_mw": fabric_power_mw(result.network, desync_cycle),
+    }
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dlx(benchmark, dlx_paper_scale, desync_paper_scale):
+    core = dlx_paper_scale
+    result = desync_paper_scale
+    data = benchmark.pedantic(_table1, args=(core, result),
+                              rounds=1, iterations=1)
+
+    table = TextTable(
+        "Table 1 - Sync vs. De-Synchronized DLX (reproduction)",
+        ["metric", "sync", "desync", "ratio", "paper ratio"])
+    cycle_ratio = data["desync_cycle"] / data["sync_cycle"]
+    power_ratio = data["desync_power"] / data["sync_power"]
+    area_ratio = data["desync_area"] / data["sync_area"]
+    table.add_row("cycle time", f"{data['sync_cycle']/1000:.2f} ns",
+                  f"{data['desync_cycle']/1000:.2f} ns",
+                  f"{cycle_ratio:.3f}", f"{PAPER['cycle_ratio']:.3f}")
+    table.add_row("dyn. power", f"{data['sync_power']:.1f} mW",
+                  f"{data['desync_power']:.1f} mW",
+                  f"{power_ratio:.3f}", f"{PAPER['power_ratio']:.3f}")
+    table.add_row("area", f"{data['sync_area']:,.0f} um2",
+                  f"{data['desync_area']:,.0f} um2",
+                  f"{area_ratio:.3f}", f"{PAPER['area_ratio']:.3f}")
+    table.add_row("(clock tree)", f"{data['clock_tree_mw']:.1f} mW",
+                  f"{data['fabric_mw']:.1f} mW (fabric)", "", "")
+    table.print()
+    write_out("table1.txt", table.render())
+
+    # Shape assertions: the de-synchronized design pays a small, bounded
+    # overhead (the paper found ~1 %; our conservative margins give more,
+    # but the ordering and magnitudes must hold).
+    assert 1.0 <= cycle_ratio < 1.35
+    assert 1.0 <= area_ratio < 1.10
+    assert 0.8 < power_ratio < 1.25
+    # The trade the paper describes: clock tree out, fabric in.  The
+    # split between logic and clock power depends on workload activity
+    # (fibonacci exercises a fraction of the datapath, so the clock share
+    # is higher here than under the paper's testbench vectors); what must
+    # hold is that neither replacement dominates its design.
+    assert data["clock_tree_mw"] < 0.75 * data["sync_power"]
+    assert data["fabric_mw"] < 0.75 * data["desync_power"]

@@ -1,0 +1,65 @@
+"""EMI analysis: supply-current spectra, synchronous vs de-synchronized.
+
+One of the paper's claimed benefits is low electromagnetic emission:
+without a global clock, switching no longer piles onto clock edges.
+This example runs both versions of a counter in the event-driven
+simulator with per-transition energy recording and compares the
+supply-current crest factor and spectrum.
+
+Run:  python examples/emi_analysis.py
+"""
+
+from repro.desync import desynchronize
+from repro.netlist import Netlist
+from repro.power import current_profile, spectrum
+from repro.sim import EventSimulator
+
+
+def build_counter(bits: int = 5) -> Netlist:
+    netlist = Netlist("emi_counter")
+    clk = netlist.add_input("clk", clock=True)
+    outputs = [netlist.net(f"q[{i}]") for i in range(bits)]
+    carry = None
+    for i in range(bits):
+        if i == 0:
+            nxt = netlist.add_gate("INV", [outputs[0]], name="inv0")
+            carry = outputs[0]
+        else:
+            nxt = netlist.add_gate("XOR2", [outputs[i], carry], name=f"x{i}")
+            if i < bits - 1:
+                carry = netlist.add_gate("AND2", [carry, outputs[i]],
+                                         name=f"c{i}")
+        netlist.add("DFF", name=f"cnt/b{i}", D=nxt, CK=clk, Q=outputs[i])
+    netlist.add_output(outputs[-1].name)
+    return netlist
+
+
+def main() -> None:
+    result = desynchronize(build_counter())
+    period = result.sync_period()
+
+    sync_sim = EventSimulator(build_counter(), record_energy=True)
+    sync_sim.add_clock("clk", period=period, until=40 * period)
+    sync_sim.run(40 * period)
+
+    desync_sim = EventSimulator(result.desync_netlist, record_energy=True)
+    desync_sim.run(40 * result.desync_cycle_time().cycle_time)
+
+    for label, sim in (("sync", sync_sim), ("desync", desync_sim)):
+        profile = current_profile(sim.energy_events, bin_ps=period / 24,
+                                  skip_ps=5 * period)
+        spec = spectrum(profile)
+        crest = profile.peak_power_mw / max(1e-9, profile.average_power_mw)
+        print(f"{label:7s} avg {profile.average_power_mw:6.3f} mW   "
+              f"peak {profile.peak_power_mw:6.3f} mW   "
+              f"crest {crest:5.1f}   "
+              f"flatness {spec.spectral_flatness:.3f}   "
+              f"peak line @ {spec.peak_frequency_ghz:.2f} GHz")
+    print()
+    print("the de-synchronized circuit spreads its switching over the "
+          "cycle: lower crest factor, flatter spectrum (the paper's EMI "
+          "claim)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Figure 3 live: the overlapping pulses of a de-synchronized pipeline.
+
+Builds the paper's four-latch pipeline model, simulates its timed
+behaviour, and prints the ASCII timing diagram showing the overlapping
+latch-control pulses (a successor opens before its predecessor closes)
+and the marked-graph cycle time.
+
+Run:  python examples/pipeline_waves.py
+"""
+
+from repro.petri import cycle_time, simulate
+from repro.sim import WaveGroup, overlap_intervals
+from repro.stg import linear_pipeline
+
+
+def main() -> None:
+    model = linear_pipeline(["A", "B", "C", "D"], stage_delay=800.0,
+                            controller_delay=60.0)
+    model.check_model()
+
+    analysis = cycle_time(model)
+    print(f"cycle time: {analysis.cycle_time:.0f} ps "
+          f"(critical cycle: {' -> '.join(analysis.critical_cycle)})")
+
+    trace = simulate(model, rounds=8)
+    waves = WaveGroup.from_transitions(
+        [(event.time, event.transition) for event in trace.events],
+        initial={"A": 1, "B": 0, "C": 1, "D": 0})
+    print()
+    print(waves.render(width=76, order=["A", "B", "C", "D"]))
+    print()
+    horizon = trace.horizon
+    for pred, succ in [("A", "B"), ("B", "C"), ("C", "D")]:
+        overlap = overlap_intervals(waves.wave(pred), waves.wave(succ),
+                                    horizon)
+        print(f"pulse overlap {pred}/{succ}: {overlap:.0f} ps total "
+              "(data ripples through, values already captured downstream)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Related-work baselines the paper compares against."""
+
+from repro.baselines.doubly_latched import dlap_controller_count, dlap_pipeline
+from repro.baselines.nonoverlap import add_nonoverlap_arcs, nonoverlap_pipeline
+
+__all__ = [
+    "dlap_controller_count",
+    "dlap_pipeline",
+    "add_nonoverlap_arcs",
+    "nonoverlap_pipeline",
+]

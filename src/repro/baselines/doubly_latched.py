@@ -1,0 +1,48 @@
+"""Baseline: the doubly-latched asynchronous pipeline (Kol & Ginosar '96).
+
+The DLAP — reference [3] of the paper — gives every pipeline stage a
+master *and* a slave latch, each with its own handshake controller, so a
+stage can capture a new item while still holding the previous one for
+its successor.  In marked-graph terms it is exactly the paper's per-latch
+overlapping model applied to a master/slave chain: the intra-stage edge
+has (near-)zero combinational delay, the inter-stage edge carries the
+stage logic.
+
+The comparison the paper implies: DLAP achieves the same throughput
+class as de-synchronization but pays **two controllers and two latch
+banks per stage** by construction, whereas de-synchronization inherits
+the latch pairs from the existing flip-flops and can cluster
+controllers.  The bench quantifies cycle time and controller count.
+"""
+
+from __future__ import annotations
+
+from repro.stg.patterns import Parity, linear_pipeline
+from repro.stg.stg import Stg
+
+
+def dlap_pipeline(stages: int, stage_delay: float,
+                  controller_delay: float = 0.0,
+                  internal_delay: float = 0.0) -> Stg:
+    """The DLAP model for ``stages`` pipeline stages.
+
+    Each stage is a master latch (even) and a slave latch (odd); the
+    master -> slave edge carries ``internal_delay`` (a wire), the
+    slave -> next-master edge the real ``stage_delay``.
+    """
+    names: list[str] = []
+    delays: list[float] = []
+    for index in range(stages):
+        names.extend([f"M{index}", f"S{index}"])
+        delays.extend([internal_delay, stage_delay])
+    model = linear_pipeline(names, first_parity=Parity.EVEN,
+                            stage_delay=stage_delay,
+                            controller_delay=controller_delay,
+                            stage_delays=delays[:-1])
+    model.name = f"dlap:{stages}"
+    return model
+
+
+def dlap_controller_count(stages: int) -> int:
+    """Handshake controllers a DLAP needs (two per stage)."""
+    return 2 * stages

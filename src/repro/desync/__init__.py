@@ -1,0 +1,40 @@
+"""The paper's core contribution: automatic de-synchronization."""
+
+from repro.desync.clustering import (
+    Cluster,
+    Clustering,
+    cluster_registers,
+    cluster_stage_delays,
+    register_level_edges,
+)
+from repro.desync.flow import DesyncOptions, DesyncResult, HoldCheck, desynchronize
+from repro.desync.latchify import latchify, master_name, slave_name
+from repro.desync.network import (
+    DEFAULT_HOLD_SLACK,
+    HandshakeMode,
+    ControllerReport,
+    DesyncNetwork,
+    build_network,
+    clock_net_name,
+)
+
+__all__ = [
+    "Cluster",
+    "Clustering",
+    "cluster_registers",
+    "cluster_stage_delays",
+    "register_level_edges",
+    "DesyncOptions",
+    "HoldCheck",
+    "HandshakeMode",
+    "DEFAULT_HOLD_SLACK",
+    "DesyncResult",
+    "desynchronize",
+    "latchify",
+    "master_name",
+    "slave_name",
+    "ControllerReport",
+    "DesyncNetwork",
+    "build_network",
+    "clock_net_name",
+]

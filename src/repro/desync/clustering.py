@@ -1,0 +1,174 @@
+"""Register clustering: the controller granularity of the robust fabric.
+
+The paper's model places one controller per latch; its correctness on
+real layouts rests on relative-timing checks (capture-versus-launch races
+between neighbouring controllers) that the authors discharge with the
+commercial flow's timing signoff.  A pure-software reproduction must be
+correct by construction instead, so the shipped fabric clusters:
+
+* each flip-flop register keeps its master/slave pair under **one** local
+  clock (the ``gen`` blocks of Figure 1(b) read per register);
+* registers that are *mutually* reachable through combinational logic —
+  the strongly-connected components of the register dataflow graph —
+  share one controller, because mutually-coupled captures must happen
+  within a data-delay window of each other, which is exactly what a
+  shared local clock provides (this is the Varshavsky-style local
+  clocking the paper cites as reference [5]).
+
+The result is an **acyclic** bank graph, on which the handshake protocol
+of :mod:`repro.desync.network` is deadlock-free and race-free with
+static margins.  Tightly-coupled designs degenerate toward fewer, larger
+domains (a single self-timed domain in the limit), which is the honest
+outcome of de-synchronizing such netlists without timing signoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.netlist.core import Instance, Netlist, iter_register_banks
+from repro.utils.errors import DesyncError
+
+
+@dataclass
+class Cluster:
+    """One controller domain: a set of registers sharing a local clock.
+
+    Attributes:
+        name: bank name (the lexicographically first member register).
+        registers: member register names (flip-flop bank names).
+        instances: the member flip-flop instances of the *synchronous*
+            netlist (the latch pairs derive their names from these).
+        has_self_edge: some member register feeds another member (or
+            itself) through combinational logic, so the cluster needs an
+            internal matched self-request.
+    """
+
+    name: str
+    registers: list[str]
+    instances: list[Instance] = field(default_factory=list)
+    has_self_edge: bool = False
+
+    @property
+    def width(self) -> int:
+        return len(self.instances)
+
+
+@dataclass
+class Clustering:
+    """Clusters plus their acyclic adjacency."""
+
+    clusters: dict[str, Cluster]
+    edges: set[tuple[str, str]]          # inter-cluster, acyclic
+    register_edges: set[tuple[str, str]]  # original register-level pairs
+    cluster_of: dict[str, str]           # register name -> cluster name
+
+    def predecessors(self, bank: str) -> list[str]:
+        return sorted({p for (p, s) in self.edges if s == bank})
+
+    def successors(self, bank: str) -> list[str]:
+        return sorted({s for (p, s) in self.edges if p == bank})
+
+    def describe(self) -> str:
+        multi = [c for c in self.clusters.values() if len(c.registers) > 1]
+        lines = [
+            f"clustering: {len(self.clusters)} controller domains over "
+            f"{len(self.cluster_of)} registers",
+            f"  inter-domain edges  {len(self.edges)}",
+            f"  merged domains      {len(multi)}",
+        ]
+        for cluster in sorted(multi, key=lambda c: c.name):
+            lines.append(f"    {cluster.name}: {len(cluster.registers)} "
+                         "registers")
+        return "\n".join(lines)
+
+
+def register_level_edges(netlist: Netlist,
+                         ) -> tuple[dict[str, list[Instance]],
+                                    set[tuple[str, str]]]:
+    """Register banks of a flip-flop netlist and their dataflow edges.
+
+    An edge ``(p, s)`` means some flip-flop output of register bank ``p``
+    reaches a flip-flop D input of bank ``s`` through combinational
+    logic (self-edges included).
+    """
+    banks = {name: insts for name, insts in iter_register_banks(netlist)}
+    if not banks:
+        raise DesyncError(f"{netlist.name} has no registers")
+    bank_of = {inst.name: bank
+               for bank, insts in banks.items() for inst in insts}
+    edges: set[tuple[str, str]] = set()
+    for bank, instances in banks.items():
+        for ff in instances:
+            for source in _sequential_fanin(netlist, ff):
+                edges.add((bank_of[source.name], bank))
+    return banks, edges
+
+
+def _sequential_fanin(netlist: Netlist, ff: Instance) -> list[Instance]:
+    sources: list[Instance] = []
+    seen: set[str] = set()
+    stack = [ff.data_net()]
+    while stack:
+        net = stack.pop()
+        driver = net.driver_instance()
+        if driver is None or driver.name in seen:
+            continue
+        seen.add(driver.name)
+        if driver.is_sequential:
+            sources.append(driver)
+        elif driver.is_combinational or driver.is_celement:
+            stack.extend(driver.input_nets())
+    return sources
+
+
+def cluster_registers(netlist: Netlist) -> Clustering:
+    """Compute the SCC clustering of a synchronous flip-flop netlist."""
+    banks, reg_edges = register_level_edges(netlist)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(banks)
+    graph.add_edges_from(reg_edges)
+    clusters: dict[str, Cluster] = {}
+    cluster_of: dict[str, str] = {}
+    for component in nx.strongly_connected_components(graph):
+        members = sorted(component)
+        name = members[0]
+        instances = [ff for reg in members for ff in banks[reg]]
+        clusters[name] = Cluster(name=name, registers=members,
+                                 instances=instances)
+        for register in members:
+            cluster_of[register] = name
+    edges: set[tuple[str, str]] = set()
+    for pred, succ in reg_edges:
+        cp, cs = cluster_of[pred], cluster_of[succ]
+        if cp == cs:
+            clusters[cp].has_self_edge = True
+        else:
+            edges.add((cp, cs))
+    return Clustering(clusters=clusters, edges=edges,
+                      register_edges=reg_edges, cluster_of=cluster_of)
+
+
+def cluster_stage_delays(timing_max: dict[tuple[str, str], float],
+                         timing_min: dict[tuple[str, str], float],
+                         clustering: Clustering,
+                         ) -> tuple[dict[tuple[str, str], float],
+                                    dict[tuple[str, str], float]]:
+    """Aggregate register-level STA results to cluster granularity.
+
+    Self-pairs ``(bank, bank)`` carry the worst intra-cluster stage.
+    """
+    max_delay: dict[tuple[str, str], float] = {}
+    min_delay: dict[tuple[str, str], float] = {}
+    for (pred, succ), value in timing_max.items():
+        cp = clustering.cluster_of.get(pred)
+        cs = clustering.cluster_of.get(succ)
+        if cp is None or cs is None:
+            continue
+        key = (cp, cs)
+        max_delay[key] = max(max_delay.get(key, 0.0), value)
+        low = timing_min.get((pred, succ), value)
+        min_delay[key] = min(min_delay.get(key, float("inf")), low)
+    return max_delay, min_delay

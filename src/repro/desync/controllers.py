@@ -1,0 +1,219 @@
+"""Gate-level local-clock handshake controllers.
+
+Step 3 of the paper's flow replaces the clock tree with one controller
+per latch bank.  The DATE paper defers the implementation to its
+reference [1]; we implement the semi-decoupled controller family used
+there, built from Muller C-elements:
+
+* the **main C-element** of bank *x* drives the local clock ``lt:x``::
+
+      lt:x = C( delay(lt:p1), delay(lt:p2), ...,   # predecessor requests
+                ack(x, s1),   ack(x, s2),   ... )  # successor tokens
+
+* each **acknowledge state cell** implements the marking of the
+  ``a``/``af`` arc pair of one adjacency ``x -> s``::
+
+      ack(x, s) = C2( NOT lt:x, NOT lt:s )   initialized to 1
+
+  It *sets* when both latches are closed — i.e. once ``s`` has captured
+  (``s-``), re-arming ``x+`` (the ``af`` no-overwrite arc) — and *clears*
+  while both are transparent — i.e. only after ``s`` has opened
+  (``s+``), releasing ``x-`` (the ``a`` overlap arc).
+
+Why the state cell is necessary (and a bare ``NOT lt:s`` ack input is
+not): at reset odd latches hold data while even latches are transparent;
+the model's initial ``af`` tokens assert that every successor has already
+consumed its predecessor's previous value, but the *level* of an open
+even latch cannot express that.  A level-acknowledge fabric deadlocks on
+any latch ring (e.g. the master/slave loop of a state register) and
+serializes pipelines to roughly double the period — which is precisely
+why the de-synchronization literature introduced decoupled controllers.
+The explicit C2 token cell initializes to the marking and restores the
+model's concurrency.
+
+Requests are the predecessor clocks through the matched delay lines, so
+both handshake phases are delayed (slightly more conservative than the
+model, which delays only the rising request).  Banks fed only by primary
+inputs get a self-request — their own inverted clock through a short
+buffer chain — the circuit form of the paper's auxiliary environment
+arcs.  C-elements wider than the library's 3-input cell are composed as
+initialized trees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import Library
+from repro.netlist.core import Net, Netlist
+from repro.utils.errors import DesyncError
+
+# Number of buffers in a source bank's self-request loop: sets the
+# environment handshake latency for banks fed only by primary inputs.
+SELF_REQUEST_BUFFERS = 2
+
+
+def inverted_clock_name(bank: str) -> str:
+    """Net carrying the complement of ``lt:<bank>`` (shared per bank)."""
+    return f"ltn:{bank}"
+
+
+def ack_net_name(pred: str, succ: str) -> str:
+    """Net carrying the acknowledge token state of one adjacency."""
+    return f"ack:{pred}>{succ}"
+
+
+@dataclass
+class ControllerSpec:
+    """Description of one bank controller before materialization.
+
+    Attributes:
+        bank: latch bank name.
+        initial: reset value of the local clock (1 = transparent).
+        requests: nets carrying the delayed predecessor clocks.
+        acknowledges: nets carrying the per-successor token states
+            (outputs of :func:`build_ack_cell`).
+    """
+
+    bank: str
+    initial: int
+    requests: list[Net] = field(default_factory=list)
+    acknowledges: list[Net] = field(default_factory=list)
+
+
+@dataclass
+class ControllerReport:
+    """Materialized controller facts for area/power accounting."""
+
+    bank: str
+    n_celements: int
+    n_inverters: int
+    n_buffers: int
+    latency: float  # worst input-to-output latency in ps
+    area: float
+
+
+def build_inverted_clock(netlist: Netlist, bank: str) -> Net:
+    """Materialize the shared ``NOT lt:<bank>`` inverter."""
+    clock = netlist.net(f"lt:{bank}")
+    return netlist.add_gate("INV", [clock],
+                            output=netlist.net(inverted_clock_name(bank)),
+                            name=f"ctl:{bank}/ltinv")
+
+
+def build_ack_cell(netlist: Netlist, pred: str, succ: str) -> Net:
+    """Materialize the acknowledge token cell for ``pred -> succ``.
+
+    A C2 element over the two inverted local clocks: it *sets* when both
+    controls are low (the successor has closed having consumed the
+    predecessor's data — the model's ``af`` no-overwrite token) and
+    *clears* when both are high (the successor has opened for the
+    current item — the ``a`` overlap arc, releasing the predecessor's
+    fall).  It starts at 1: every initial ``af`` arc of the model is
+    marked.  Both banks' inverted clocks must already exist.
+    """
+    cell = netlist.add("C2", name=f"ack:{pred}>{succ}/c", init=1,
+                       A=netlist.net(inverted_clock_name(pred)),
+                       B=netlist.net(inverted_clock_name(succ)),
+                       Q=netlist.net(ack_net_name(pred, succ)))
+    return cell.output_net()
+
+
+def controller_latency(n_inputs: int, library: Library) -> float:
+    """Worst-case response latency of a bank controller in ps.
+
+    Covers the main C-element tree plus the acknowledge path (inverter
+    and token cell) that sequences consecutive handshake phases.
+    """
+    depth = 1 if n_inputs <= 3 else math.ceil(math.log(max(2, n_inputs), 3))
+    return (depth * library["C3"].delay + library["INV"].delay
+            + library["C2"].delay)
+
+
+def build_controller(netlist: Netlist,
+                     spec: ControllerSpec) -> tuple[Net, ControllerReport]:
+    """Materialize one bank controller in ``netlist``.
+
+    Returns the local-clock net ``lt:<bank>`` and a
+    :class:`ControllerReport`.  The bank's inverted-clock net and the ack
+    cells it consumes must be built by the caller (the network builder
+    owns the shared fabric).
+    """
+    library = netlist.library
+    prefix = f"ctl:{spec.bank}"
+    if not spec.requests and not spec.acknowledges:
+        raise DesyncError(
+            f"bank {spec.bank} has neither predecessors nor successors; "
+            "an isolated latch bank cannot be handshake-paced (its "
+            "self-request would form a free-running ring oscillator)")
+    clock_net = netlist.net(f"lt:{spec.bank}")
+    inputs: list[Net] = list(spec.requests) + list(spec.acknowledges)
+    n_buffers = 0
+    n_inverters = 0
+    if not spec.requests:
+        # Environment self-request through the bank's inverted clock: the
+        # bank free-runs, paced by its successors' token cells.
+        loop = netlist.net(inverted_clock_name(spec.bank))
+        for index in range(SELF_REQUEST_BUFFERS):
+            loop = netlist.add_gate("BUF", [loop],
+                                    name=f"{prefix}/selfbuf{index}")
+            n_buffers += 1
+        inputs.insert(0, loop)
+
+    n_celements = 0
+    if len(inputs) == 1:
+        netlist.add_gate("BUF", [inputs[0]], output=clock_net,
+                         name=f"{prefix}/follow")
+        n_buffers += 1
+    else:
+        n_celements = _celement_tree(netlist, prefix, inputs, clock_net,
+                                     spec.initial)
+    area = (n_celements * library["C3"].area
+            + n_inverters * library["INV"].area
+            + n_buffers * library["BUF"].area)
+    report = ControllerReport(
+        bank=spec.bank,
+        n_celements=n_celements,
+        n_inverters=n_inverters,
+        n_buffers=n_buffers,
+        latency=controller_latency(len(inputs), library),
+        area=area,
+    )
+    return clock_net, report
+
+
+def _celement_tree(netlist: Netlist, prefix: str, inputs: list[Net],
+                   output: Net, initial: int) -> int:
+    """Reduce ``inputs`` with C2/C3 cells into ``output``.
+
+    Every C-element in the tree is initialized to ``initial`` so the
+    composed state matches the model's reset marking.  Returns the number
+    of C-elements instantiated.
+    """
+    count = 0
+    level = 0
+    current = inputs
+    while len(current) > 1:
+        is_root_level = len(current) <= 3
+        next_level: list[Net] = []
+        for group_index in range(0, len(current), 3):
+            group = current[group_index:group_index + 3]
+            if len(group) == 1:
+                next_level.append(group[0])
+                continue
+            cell_name = "C3" if len(group) == 3 else "C2"
+            cell = netlist.library[cell_name]
+            name = f"{prefix}/c{level}_{group_index // 3}"
+            connections: dict[str, Net] = dict(zip(cell.inputs, group))
+            if is_root_level:
+                connections[cell.output] = output
+            else:
+                connections[cell.output] = netlist.new_net(
+                    f"{prefix}/t{level}_{group_index // 3}")
+            inst = netlist.add(cell, name=name, init=initial, **connections)
+            count += 1
+            next_level.append(inst.output_net())
+        current = next_level
+        level += 1
+    return count

@@ -1,0 +1,288 @@
+"""The end-to-end de-synchronization flow.
+
+``desynchronize(netlist)`` performs the paper's three steps on a
+synchronous flip-flop netlist:
+
+1. conversion into a latch-based circuit (:mod:`repro.desync.latchify`);
+2. matched-delay generation from static timing analysis
+   (:mod:`repro.timing`);
+3. replacement of the clock network by handshake controllers
+   (:mod:`repro.desync.network`), at the register-cluster granularity
+   that a software-verified flow can guarantee
+   (:mod:`repro.desync.clustering`).
+
+The returned :class:`DesyncResult` bundles every intermediate artifact —
+the latch-based netlist, the timed marked-graph model of the fabric, the
+final self-timed netlist — plus the analyses the evaluation needs: the
+synchronous period, the de-synchronized cycle time (maximum cycle ratio
+of the model), and area accounting.  The paper's *per-latch* Figure-4
+model of the same design is available through
+:meth:`DesyncResult.spec_model` for the idealized analysis used in the
+figure reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.desync.clustering import (
+    Clustering,
+    cluster_registers,
+    cluster_stage_delays,
+)
+from repro.desync.latchify import latchify
+from repro.desync.network import (
+    DEFAULT_HOLD_SLACK,
+    DesyncNetwork,
+    HandshakeMode,
+    build_network,
+)
+from repro.netlist.core import Netlist, iter_register_banks
+from repro.petri.analysis import CycleTimeResult, cycle_time
+from repro.petri.simulate import simulate
+from repro.stg.cluster_model import build_cluster_model
+from repro.stg.desync_model import build_model, extract_banks, latch_adjacency
+from repro.stg.stg import Stg
+from repro.timing.delays import DEFAULT_MARGIN
+from repro.timing.sta import DEFAULT_SETUP, DEFAULT_SKEW, TimingResult, analyze
+
+
+@dataclass
+class DesyncOptions:
+    """Tunable parameters of the flow.
+
+    Attributes:
+        margin: matched-delay guard band (fraction of the stage delay).
+        setup / skew: synchronous capture margins, used only for the
+            reference synchronous period (the de-synchronized circuit
+            replaces the skew margin by the matched-delay margin).
+        mode: acknowledge discipline — the paper's concurrent OVERLAP
+            protocol (default) or the statically race-free SERIAL one
+            (see :class:`repro.desync.network.HandshakeMode`).
+        hold_slack: overlap-mode self-pacing stretch in ps.
+        validate_model: run liveness / consistency / boundedness checks
+            on the composed fabric model; disable for very large bank
+            graphs (the checks walk the reachability graph).
+        model_check_states: state cap for those checks.
+    """
+
+    margin: float = DEFAULT_MARGIN
+    setup: float = DEFAULT_SETUP
+    skew: float = DEFAULT_SKEW
+    mode: HandshakeMode = HandshakeMode.OVERLAP
+    hold_slack: float = DEFAULT_HOLD_SLACK
+    validate_model: bool = True
+    model_check_states: int = 200_000
+
+
+@dataclass
+class HoldCheck:
+    """Hold margin of one cluster edge under the overlap protocol.
+
+    ``margin`` is the worst observed slack (ps) between a consumer's
+    capture and the earliest corrupting data wave from this producer;
+    negative margins mean the relative-timing assumption is violated and
+    the edge needs min-delay padding or a larger ``hold_slack``.
+    """
+
+    pred: str
+    succ: str
+    margin: float
+
+    @property
+    def ok(self) -> bool:
+        return self.margin >= 0.0
+
+
+@dataclass
+class DesyncResult:
+    """Everything the flow produced."""
+
+    sync_netlist: Netlist
+    latched: Netlist
+    network: DesyncNetwork
+    clustering: Clustering
+    timing: TimingResult
+    stage_max: dict[tuple[str, str], float]
+    stage_min: dict[tuple[str, str], float]
+    model: Stg
+    options: DesyncOptions
+    _cycle_time: CycleTimeResult | None = field(default=None, repr=False)
+
+    @property
+    def desync_netlist(self) -> Netlist:
+        return self.network.netlist
+
+    def sync_period(self) -> float:
+        """Clock period of the synchronous reference, ps."""
+        return self.timing.sync_period()
+
+    def desync_cycle_time(self) -> CycleTimeResult:
+        """Steady-state cycle time of the de-synchronized circuit, ps
+        (maximum cycle ratio of the timed fabric model)."""
+        if self._cycle_time is None:
+            self._cycle_time = cycle_time(self.model)
+        return self._cycle_time
+
+    def spec_model(self, controller_delay: float = 0.0,
+                   timed: bool = True) -> Stg:
+        """The paper's per-latch Figure-4 model of this design.
+
+        Built on the latch netlist with one signal per latch bank; with
+        ``timed`` the request arcs carry the matched stage delays.  This
+        is the idealized model the paper analyzes (per-latch controllers
+        under relative-timing assumptions); the constructed fabric is its
+        clustered refinement.
+        """
+        banks = extract_banks(self.latched)
+        adjacency = latch_adjacency(self.latched, banks)
+        latch_timing = analyze(self.latched,
+                               banks={name: bank.instances
+                                      for name, bank in banks.items()},
+                               setup=self.options.setup,
+                               skew=self.options.skew)
+
+        def delay_fn(pred: str, succ: str) -> float:
+            if not timed:
+                return 0.0
+            return latch_timing.max_delay.get((pred, succ), 0.0)
+
+        return build_model(self.latched, delay_fn=delay_fn,
+                           controller_delay=controller_delay,
+                           banks=banks, adjacency=adjacency)
+
+    def verify_hold(self, rounds: int = 10,
+                    use_model: bool = True) -> list[HoldCheck]:
+        """Check the overlap-mode relative-timing (hold) conditions.
+
+        For every inter-cluster edge ``g -> p``, measures the worst
+        margin between the consumer's k-th capture (``p+``) and the
+        corrupting wave of the producer's same-epoch launch (``g+`` plus
+        latch delay plus the *minimum* combinational path).  With
+        ``use_model`` the schedule comes from the timed fabric model (a
+        fast, conservative screening — the model's eager schedule can
+        launch earlier than the gate-level fabric, so negative margins
+        here are warnings); otherwise the gate-level fabric itself is
+        simulated and the realized local-clock edges are compared.  The
+        paper's flow discharges these checks with commercial timing
+        signoff; the definitive functional check in this reproduction is
+        :func:`repro.equiv.check_flow_equivalence`.
+        """
+        latch_delay = self.sync_netlist.library["LATCH_H"].delay
+        if use_model:
+            trace = simulate(self.model, rounds=rounds)
+            rises = {bank: trace.times_of(f"{bank}+")
+                     for bank in self.clustering.clusters}
+        else:
+            from repro.desync.network import clock_net_name
+            from repro.sim.simulator import EventSimulator
+            nets = [clock_net_name(bank)
+                    for bank in self.clustering.clusters]
+            sim = EventSimulator(self.desync_netlist, record=nets)
+            horizon = (rounds + 4) * max(
+                1.0, self.desync_cycle_time().cycle_time)
+            sim.run(horizon)
+            rises = {}
+            for bank in self.clustering.clusters:
+                history = sim.history.get(clock_net_name(bank), [])
+                rises[bank] = [t for t, v in history if v == 1]
+        checks: list[HoldCheck] = []
+        for pred, succ in sorted(self.clustering.edges):
+            min_cl = self.stage_min.get((pred, succ), 0.0)
+            pred_rises = rises[pred]
+            succ_rises = rises[succ]
+            worst = float("inf")
+            for k in range(1, min(len(pred_rises), len(succ_rises))):
+                corruption = pred_rises[k] + latch_delay + min_cl
+                capture = succ_rises[k]
+                worst = min(worst, corruption - capture)
+            checks.append(HoldCheck(pred, succ, worst))
+        return checks
+
+    def overhead_summary(self) -> dict[str, float]:
+        """Area accounting of what de-synchronization added/removed."""
+        return {
+            "sync_area": self.sync_netlist.total_area(),
+            "latched_area": self.latched.total_area(),
+            "desync_area": self.desync_netlist.total_area(),
+            "controller_area": self.network.controller_area,
+            "delay_line_area": self.network.delay_line_area,
+        }
+
+    def describe(self) -> str:
+        cycle = self.desync_cycle_time()
+        lines = [
+            f"de-synchronization of {self.sync_netlist.name}:",
+            f"  registers          {len(self.clustering.cluster_of)}",
+            f"  controller domains {len(self.clustering.clusters)}",
+            f"  domain adjacencies {len(self.clustering.edges)}",
+            f"  sync period        {self.sync_period():,.0f} ps",
+            f"  desync cycle time  {cycle.cycle_time:,.0f} ps",
+            f"  controller area    {self.network.controller_area:,.0f} um^2",
+            f"  delay-line area    {self.network.delay_line_area:,.0f} um^2",
+        ]
+        return "\n".join(lines)
+
+
+def desynchronize(netlist: Netlist,
+                  options: DesyncOptions | None = None) -> DesyncResult:
+    """Run the complete de-synchronization flow on ``netlist``.
+
+    ``netlist`` must be a validated synchronous flip-flop design with a
+    declared clock port.  Returns a :class:`DesyncResult`; raises
+    :class:`DesyncError` on structural problems (no flip-flops, clock
+    used as data...).
+    """
+    opts = options if options is not None else DesyncOptions()
+    netlist.validate()
+    clustering = cluster_registers(netlist)
+    register_banks = {name: instances
+                      for name, instances in iter_register_banks(netlist)}
+    timing = analyze(netlist, banks=register_banks, setup=opts.setup,
+                     skew=opts.skew)
+    stage_max, stage_min = cluster_stage_delays(timing.max_delay,
+                                                timing.min_delay, clustering)
+    latched = latchify(netlist)
+    network = build_network(latched, clustering, stage_max,
+                            margin=opts.margin, mode=opts.mode,
+                            hold_slack=opts.hold_slack)
+
+    all_edges = set(clustering.edges)
+    for cluster in clustering.clusters.values():
+        if cluster.has_self_edge:
+            all_edges.add((cluster.name, cluster.name))
+
+    def request_delay(pred: str, succ: str) -> float:
+        return network.request_delay(pred, succ)
+
+    def pacing_delay(pred: str, succ: str) -> float:
+        return network.pacing_delay(pred, succ)
+
+    def controller_delay(bank: str) -> float:
+        return network.controllers[bank].latency
+
+    library = netlist.library
+    model = build_cluster_model(
+        banks=list(clustering.clusters),
+        edges=all_edges,
+        request_delay=request_delay,
+        ack_delay=network.ack_delay(),
+        controller_delay=controller_delay,
+        pulse_width=2 * library["C3"].delay,
+        overlap=(opts.mode is HandshakeMode.OVERLAP),
+        pacing_delay=pacing_delay,
+        name=f"desync:{netlist.name}",
+    )
+    if opts.validate_model:
+        model.check_model(max_states=opts.model_check_states)
+    return DesyncResult(
+        sync_netlist=netlist,
+        latched=latched,
+        network=network,
+        clustering=clustering,
+        timing=timing,
+        stage_max=stage_max,
+        stage_min=stage_min,
+        model=model,
+        options=opts,
+    )

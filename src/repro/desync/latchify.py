@@ -1,0 +1,105 @@
+"""Step 1 of the paper's flow: flip-flop to master/slave latch conversion.
+
+Every rising-edge D flip-flop becomes a pair of level-sensitive latches
+(Figure 1(b)): an **even** master latch, transparent when the clock is
+low, followed by an **odd** slave latch, transparent when it is high.
+The conversion is purely local, preserves the synchronous behaviour
+exactly (the pair *is* the flip-flop's internal structure), and prepares
+the per-phase latch banks that receive individual controllers.
+
+Naming: a flip-flop ``bank/bit`` becomes ``bank.M/bit`` and
+``bank.S/bit``, so the bank-grouping convention of
+:func:`repro.netlist.core.iter_register_banks` yields one even bank
+``bank.M`` and one odd bank ``bank.S`` per original register — the
+granularity at which controllers are shared (one controller per register
+bank, as in the paper's DLX where pipeline registers share controllers).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import CellKind, PIN_CLOCK, PIN_D, PIN_ENABLE, PIN_RESET_N
+from repro.netlist.core import Instance, Netlist
+from repro.utils.errors import DesyncError
+
+MASTER_SUFFIX = ".M"
+SLAVE_SUFFIX = ".S"
+
+
+def split_ff_name(name: str) -> tuple[str, str]:
+    """Split a flip-flop instance name into ``(bank, leaf)``."""
+    if "/" in name:
+        bank, leaf = name.rsplit("/", 1)
+    else:
+        bank, leaf = name, "q"
+    return bank, leaf
+
+
+def master_name(ff_name: str) -> str:
+    bank, leaf = split_ff_name(ff_name)
+    return f"{bank}{MASTER_SUFFIX}/{leaf}"
+
+
+def slave_name(ff_name: str) -> str:
+    bank, leaf = split_ff_name(ff_name)
+    return f"{bank}{SLAVE_SUFFIX}/{leaf}"
+
+
+def latchify(netlist: Netlist, name: str | None = None) -> Netlist:
+    """Convert a flip-flop netlist into the equivalent latch-based one.
+
+    The result is still a synchronous circuit driven by the same clock
+    port: master latches are ``LATCH_L`` (transparent low), slaves
+    ``LATCH_H`` (transparent high).  Flip-flops with asynchronous reset
+    map onto the resettable latch cells.  Raises :class:`DesyncError` if
+    the netlist has no flip-flops or mixes latches with flip-flops.
+    """
+    ffs = netlist.dff_instances()
+    if not ffs:
+        raise DesyncError(f"{netlist.name} has no flip-flops to convert")
+    if netlist.latch_instances():
+        raise DesyncError(
+            f"{netlist.name} already mixes latches with flip-flops; "
+            "latchify expects a pure flip-flop design")
+    if netlist.clock is None:
+        raise DesyncError(f"{netlist.name} has no clock port")
+
+    result = Netlist(name if name is not None else f"{netlist.name}_latched",
+                     netlist.library)
+    for port in netlist.inputs:
+        result.add_input(port, clock=(port == netlist.clock))
+    for inst in netlist.instances.values():
+        if inst.cell.kind is CellKind.DFF:
+            _convert_ff(result, inst)
+        else:
+            result.add(inst.cell, name=inst.name, init=inst.init,
+                       **{pin: net.name for pin, net in inst.pins.items()})
+    for port in netlist.outputs:
+        result.add_output(port)
+    result.validate()
+    return result
+
+
+def _convert_ff(result: Netlist, ff: Instance) -> None:
+    has_reset = PIN_RESET_N in ff.cell.inputs
+    master_cell = "LATCH_LR" if has_reset else "LATCH_L"
+    slave_cell = "LATCH_HR" if has_reset else "LATCH_H"
+    mid = result.new_net(f"{ff.name}.mq")
+    clock = ff.pins[PIN_CLOCK].name
+    master_pins: dict[str, str] = {
+        PIN_D: ff.pins[PIN_D].name,
+        PIN_ENABLE: clock,
+        "Q": mid.name,
+    }
+    slave_pins: dict[str, str] = {
+        PIN_D: mid.name,
+        PIN_ENABLE: clock,
+        "Q": ff.output_net().name,
+    }
+    if has_reset:
+        reset = ff.pins[PIN_RESET_N].name
+        master_pins[PIN_RESET_N] = reset
+        slave_pins[PIN_RESET_N] = reset
+    result.add(master_cell, name=master_name(ff.name), init=ff.init,
+               **master_pins)
+    result.add(slave_cell, name=slave_name(ff.name), init=ff.init,
+               **slave_pins)

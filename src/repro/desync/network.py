@@ -1,0 +1,407 @@
+"""Controller-network construction: the de-synchronized netlist.
+
+Takes the latch-based synchronous netlist and replaces the global clock
+with the clustered handshake fabric (see
+:mod:`repro.desync.clustering` for why clustering is the granularity a
+software-verified flow can guarantee):
+
+* the master/slave latches are kept **exactly as latchify produced
+  them** (``LATCH_L`` masters, ``LATCH_H`` slaves) — their enable simply
+  moves from the global clock to their cluster's local clock ``lt:B``,
+  which is the paper's core claim ("the only modification is the clock
+  tree");
+* every cluster edge gets a **matched delay line** (request) plus a
+  **request token latch** (REQC) that holds "new data arrived" until the
+  consumer's pulse retires it — making multi-predecessor joins
+  insensitive to pulse overlap;
+* every cluster edge gets an **acknowledge token cell** (ACKC) that
+  re-arms the producer only after the consumer's same-index capture —
+  the strict no-overwrite ordering, giving a static hold margin of the
+  full acknowledge path (~500 ps) instead of a relative-timing
+  assumption;
+* each controller is a C-element tree over its request tokens, rooted in
+  a reset-dominant asymmetric C-element (AC2) so acknowledge tokens gate
+  only the rising edge (falls drain as requests return to zero);
+* clusters with internal combinational feedback get a matched
+  **self-request** loop; clusters with no predecessors at all free-run
+  through an inverted self-loop (the local ring-oscillator clocking of
+  the paper's reference [5]).
+
+Local clock semantics: ``lt:B`` rising = B's masters capture and its
+slaves launch; falling = slaves capture and masters reopen — one
+synchronous edge pair, generated asynchronously.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.desync.clustering import Clustering
+from repro.netlist.cells import CellKind, PIN_D, PIN_ENABLE, PIN_RESET_N
+from repro.netlist.core import Net, Netlist
+from repro.timing.delays import (
+    DEFAULT_MARGIN,
+    DelayPlan,
+    insert_delay_line,
+    matched_delay_target,
+    plan_delay_line,
+)
+from repro.utils.errors import DesyncError
+
+# Buffers in a source cluster's free-running self-loop.
+SELF_LOOP_BUFFERS = 2
+
+# Default extra pacing slack of the overlap mode, ps (see HandshakeMode).
+DEFAULT_HOLD_SLACK = 600.0
+
+
+class HandshakeMode(enum.Enum):
+    """Acknowledge discipline of the fabric.
+
+    SERIAL: a producer's k-th launch waits for its consumers' k-th
+        captures.  Statically race-free (the corruption of a capture
+        trails it by the full acknowledge path), but rises cascade
+        backward through the pipeline every cycle, so the period grows
+        with the handshake depth — the behaviour the paper's overlapping
+        protocol exists to avoid.
+
+    OVERLAP: the paper's discipline — a producer may relaunch once its
+        consumers captured the *previous* item (the marked ``af`` arc),
+        so all stages work concurrently and the period tracks the worst
+        single stage.  Correctness relies on the relative-timing (hold)
+        conditions the paper's flow discharges with timing signoff; the
+        fabric guards them with per-edge self-pacing (a producer never
+        gets more than one launch ahead of its own slowest request,
+        stretched by ``hold_slack``) and
+        :func:`repro.desync.flow.verify_hold` checks the realized
+        margins on the timed model.
+    """
+
+    SERIAL = "serial"
+    OVERLAP = "overlap"
+
+
+def clock_net_name(bank: str) -> str:
+    """Net carrying the local clock of cluster ``bank``."""
+    return f"lt:{bank}"
+
+
+def inverted_clock_name(bank: str) -> str:
+    return f"ltn:{bank}"
+
+
+def request_net_name(pred: str, succ: str) -> str:
+    return f"req:{pred}>{succ}"
+
+
+def token_net_name(pred: str, succ: str) -> str:
+    return f"tok:{pred}>{succ}"
+
+
+def ack_net_name(pred: str, succ: str) -> str:
+    return f"ack:{pred}>{succ}"
+
+
+@dataclass
+class ControllerReport:
+    """Materialized controller facts for area/power accounting."""
+
+    bank: str
+    n_inputs: int
+    n_celements: int
+    latency: float  # request-to-clock response in ps
+    area: float
+
+
+@dataclass
+class DesyncNetwork:
+    """The materialized de-synchronized circuit plus bookkeeping."""
+
+    netlist: Netlist
+    clustering: Clustering
+    mode: HandshakeMode = HandshakeMode.OVERLAP
+    hold_slack: float = DEFAULT_HOLD_SLACK
+    controllers: dict[str, ControllerReport] = field(default_factory=dict)
+    delay_plans: dict[tuple[str, str], DelayPlan] = field(default_factory=dict)
+
+    @property
+    def controller_area(self) -> float:
+        return sum(report.area for report in self.controllers.values())
+
+    @property
+    def delay_line_area(self) -> float:
+        return sum(plan.area for plan in self.delay_plans.values())
+
+    def request_delay(self, pred: str, succ: str) -> float:
+        """Request-path delay (line + output buffer + token latch), ps."""
+        library = self.netlist.library
+        return (self.delay_plans[(pred, succ)].achieved
+                + library["BUF"].delay + library["REQC"].delay)
+
+    def request_fall_delay(self, pred: str, succ: str) -> float:
+        """Fall delay of the (symmetric) request path, in ps."""
+        return self.request_delay(pred, succ)
+
+    def pacing_delay(self, pred: str, succ: str) -> float:
+        """Overlap-mode self-pacing delay of an edge, in ps."""
+        library = self.netlist.library
+        return (self.delay_plans[(pred, succ)].achieved + self.hold_slack
+                + library["REQC"].delay)
+
+    def ack_delay(self) -> float:
+        """Acknowledge-path delay (inverter + token cell), in ps."""
+        library = self.netlist.library
+        return library["INV"].delay + library["ACKC"].delay
+
+
+def build_network(latched: Netlist, clustering: Clustering,
+                  stage_max: dict[tuple[str, str], float],
+                  margin: float = DEFAULT_MARGIN,
+                  mode: HandshakeMode = HandshakeMode.OVERLAP,
+                  hold_slack: float = DEFAULT_HOLD_SLACK,
+                  name: str | None = None) -> DesyncNetwork:
+    """Build the de-synchronized netlist.
+
+    Args:
+        latched: output of :func:`repro.desync.latchify.latchify`.
+        clustering: SCC clustering of the *synchronous* register graph.
+        stage_max: cluster-level worst stage delays (ps), including
+            self-pairs for clusters with internal feedback.
+        margin: matched-delay guard band.
+        mode: acknowledge discipline (see :class:`HandshakeMode`).
+        hold_slack: overlap-mode pacing stretch in ps.
+        name: name of the produced netlist.
+    """
+    if latched.clock is None:
+        raise DesyncError(f"{latched.name} has no clock to remove")
+    clock_port = latched.clock
+    library = latched.library
+    result = Netlist(name if name is not None else f"{latched.name}_desync",
+                     library)
+    result.clock = None
+    for port in latched.inputs:
+        if port == clock_port:
+            continue
+        result.add_input(port)
+
+    # Latches keep their cells; the enable net changes to the cluster
+    # clock.  Latch instance names are ``<register>.M/<leaf>`` /
+    # ``<register>.S/<leaf>`` (see latchify), so the owning register is
+    # the name up to the phase suffix.
+    clk_to_q = 0.0
+    for inst in latched.instances.values():
+        if inst.is_sequential:
+            if inst.cell.kind is CellKind.DFF:
+                raise DesyncError(
+                    f"{latched.name} still contains flip-flop {inst.name}")
+            register = _register_of_latch(inst.name)
+            bank = clustering.cluster_of.get(register)
+            if bank is None:
+                raise DesyncError(
+                    f"latch {inst.name}: register {register} missing from "
+                    "the clustering")
+            clk_to_q = max(clk_to_q, inst.cell.delay)
+            pins: dict[str, str] = {
+                PIN_D: inst.pins[PIN_D].name,
+                PIN_ENABLE: clock_net_name(bank),
+                "Q": inst.output_net().name,
+            }
+            if PIN_RESET_N in inst.cell.inputs:
+                pins[PIN_RESET_N] = inst.pins[PIN_RESET_N].name
+            result.add(inst.cell, name=inst.name, init=inst.init, **pins)
+        else:
+            for pin, net in inst.pins.items():
+                if net.name == clock_port and pin in inst.cell.inputs:
+                    raise DesyncError(
+                        f"{inst.name} reads the clock combinationally; "
+                        "de-synchronization requires a clean clock network")
+            result.add(inst.cell, name=inst.name, init=inst.init,
+                       **{pin: net.name for pin, net in inst.pins.items()})
+
+    network = DesyncNetwork(netlist=result, clustering=clustering,
+                            mode=mode, hold_slack=hold_slack)
+    banks = clustering.clusters
+
+    # Edge fabric, per edge (self edges included):
+    #   * an asymmetric matched line — a buffer chain ANDed with its own
+    #     input, so the request rises after the matched delay but
+    #     retracts immediately (return-to-zero does not serialize falls);
+    #   * a request token latch (REQC) holding "new data arrived";
+    #   * in overlap mode, a pacing token tapped ``hold_slack`` further
+    #     down the chain, fed back to the *producer* so it never runs
+    #     more than one launch ahead of its slowest request;
+    #   * an acknowledge token cell per inter-cluster edge (marked
+    #     initially in overlap mode — the model's ``af`` token).
+    all_edges = set(clustering.edges)
+    for bank in banks.values():
+        if bank.has_self_edge:
+            all_edges.add((bank.name, bank.name))
+    tie_inst = result.add("TIE1", name="ctl:tie1")
+    tie_high = result.new_net("ctl:one")
+    result.connect(tie_inst, "Q", tie_high)
+    pacing_tokens: dict[str, list[Net]] = {bank: [] for bank in banks}
+    for pred, succ in sorted(all_edges):
+        stage = stage_max.get((pred, succ))
+        if stage is None:
+            raise DesyncError(f"no stage delay for edge {pred} -> {succ}")
+        target = matched_delay_target(stage, clk_to_q, margin)
+        plan = plan_delay_line(target, library)
+        source = result.net(clock_net_name(pred))
+        chain = insert_delay_line(result, source, f"dl:{pred}>{succ}", plan)
+        if chain is source:
+            chain = result.add_gate("BUF", [source],
+                                    name=f"dl:{pred}>{succ}/d0")
+            plan = DelayPlan(target=plan.target, n_cells=1,
+                             achieved=library["BUF"].delay,
+                             area=library["BUF"].area)
+        raw = result.add_gate("BUF", [chain],
+                              output=result.net(
+                                  request_net_name(pred, succ)),
+                              name=f"dl:{pred}>{succ}/out")
+        network.delay_plans[(pred, succ)] = plan
+        result.add("REQC", name=f"tok:{pred}>{succ}/r", init=1,
+                   R=raw, G=result.net(clock_net_name(succ)),
+                   Q=result.net(token_net_name(pred, succ)))
+        if mode is HandshakeMode.OVERLAP:
+            pace_plan = plan_delay_line(hold_slack, library)
+            pace_chain = insert_delay_line(result, chain,
+                                           f"pc:{pred}>{succ}", pace_plan)
+            pace_token = result.add(
+                "REQC", name=f"pace:{pred}>{succ}/r", init=1,
+                R=pace_chain, G=source,
+                Q=result.new_net(f"pace:{pred}>{succ}"))
+            pacing_tokens[pred].append(pace_token.output_net())
+        if pred != succ:
+            # ack(pred -> succ): sets when the consumer pulses while the
+            # producer is idle (P = lt:pred = 0, S = not lt:succ = 0);
+            # clears dominantly on the producer's own pulse (P = 1 with
+            # R tied high) — the token is consumed by the launch itself.
+            # In overlap mode it starts marked: every consumer has
+            # conceptually captured the reset wave already.
+            inverted = result.nets.get(inverted_clock_name(succ))
+            if inverted is None:
+                inverted = result.add_gate(
+                    "INV", [result.net(clock_net_name(succ))],
+                    output=result.net(inverted_clock_name(succ)),
+                    name=f"ctl:{succ}/ltinv")
+            result.add("ACKC", name=f"ack:{pred}>{succ}/c",
+                       init=1 if mode is HandshakeMode.OVERLAP else 0,
+                       P=result.net(clock_net_name(pred)),
+                       R=tie_high,
+                       S=inverted,
+                       Q=result.net(ack_net_name(pred, succ)))
+
+    # Controllers.
+    for bank_name in sorted(banks):
+        network.controllers[bank_name] = _build_controller(
+            result, bank_name, clustering, banks[bank_name].has_self_edge,
+            tie_high, pacing_tokens[bank_name])
+
+    for port in latched.outputs:
+        result.add_output(port)
+    result.validate()
+    return network
+
+
+def _register_of_latch(latch_name: str) -> str:
+    """Recover the register name from a latchify latch instance name."""
+    head = latch_name.rsplit("/", 1)[0]
+    for suffix in (".M", ".S"):
+        if head.endswith(suffix):
+            return head[: -len(suffix)]
+    raise DesyncError(f"latch {latch_name} does not follow the "
+                      "latchify naming convention")
+
+
+def _build_controller(netlist: Netlist, bank: str, clustering: Clustering,
+                      has_self_edge: bool, tie_high: Net,
+                      pacing: list[Net]) -> ControllerReport:
+    """Materialize one cluster controller.
+
+    ``lt:B = AC2( Ctree(request tokens), Ctree(ack tokens) )``; a bank
+    without successors gets the acknowledge input tied high.  The root
+    is always a state element initialized low, so the reset fixpoint has
+    every local clock at 0 (masters transparent, the synchronous reset
+    state).
+    """
+    library = netlist.library
+    prefix = f"ctl:{bank}"
+    clock = netlist.net(clock_net_name(bank))
+    requests: list[Net] = []
+    for pred in clustering.predecessors(bank):
+        requests.append(netlist.net(token_net_name(pred, bank)))
+    if has_self_edge:
+        requests.append(netlist.net(token_net_name(bank, bank)))
+    requests.extend(pacing)
+    n_buffers = 0
+    if not requests:
+        # Free-running source: inverted self-loop through a short chain.
+        inverted = netlist.nets.get(inverted_clock_name(bank))
+        if inverted is None:
+            inverted = netlist.add_gate("INV", [clock],
+                                        output=netlist.net(
+                                            inverted_clock_name(bank)),
+                                        name=f"{prefix}/ltinv")
+        loop = inverted
+        for index in range(SELF_LOOP_BUFFERS):
+            loop = netlist.add_gate("BUF", [loop],
+                                    name=f"{prefix}/selfbuf{index}")
+            n_buffers += 1
+        requests.append(loop)
+    acks = [netlist.net(ack_net_name(bank, succ))
+            for succ in clustering.successors(bank)]
+
+    n_celements = 0
+    req_root, count = _ctree(netlist, f"{prefix}/rq", requests, initial=1)
+    n_celements += count
+    if acks:
+        ack_root, count = _ctree(netlist, f"{prefix}/ak", acks, initial=0)
+        n_celements += count
+    else:
+        ack_root = tie_high
+    netlist.add("AC2", name=f"{prefix}/root", init=0,
+                R=req_root, A=ack_root, Q=clock)
+    n_celements += 1
+    latency = (library["C3"].delay * max(1, _tree_depth(len(requests)))
+               + library["AC2"].delay)
+    area = (n_celements * library["C3"].area
+            + n_buffers * library["BUF"].area)
+    return ControllerReport(bank=bank,
+                            n_inputs=len(requests) + len(acks),
+                            n_celements=n_celements,
+                            latency=latency, area=area)
+
+
+def _tree_depth(n_leaves: int) -> int:
+    import math
+    return 1 if n_leaves <= 3 else math.ceil(math.log(max(2, n_leaves), 3))
+
+
+def _ctree(netlist: Netlist, prefix: str, inputs: list[Net],
+           initial: int) -> tuple[Net, int]:
+    """C2/C3 reduction tree; returns (root net, element count)."""
+    if not inputs:
+        raise DesyncError(f"{prefix}: empty C-element tree")
+    count = 0
+    level = 0
+    current = list(inputs)
+    while len(current) > 1:
+        next_level: list[Net] = []
+        for group_index in range(0, len(current), 3):
+            group = current[group_index:group_index + 3]
+            if len(group) == 1:
+                next_level.append(group[0])
+                continue
+            cell_name = "C3" if len(group) == 3 else "C2"
+            cell = netlist.library[cell_name]
+            connections: dict[str, Net] = dict(zip(cell.inputs, group))
+            connections[cell.output] = netlist.new_net(
+                f"{prefix}/t{level}_{group_index // 3}")
+            inst = netlist.add(cell, name=f"{prefix}/c{level}_{group_index // 3}",
+                               init=initial, **connections)
+            count += 1
+            next_level.append(inst.output_net())
+        current = next_level
+        level += 1
+    return current[0], count

@@ -1,0 +1,26 @@
+"""The DLX processor case study (the paper's evaluation vehicle)."""
+
+from repro.dlx.assembler import assemble
+from repro.dlx.cpu import DlxConfig, DlxCore, build_dlx
+from repro.dlx.golden import CommitRecord, GoldenDlx, GoldenResult
+from repro.dlx.isa import NOP, decode, disassemble
+from repro.dlx.programs import INITIAL_DATA, PROGRAMS, load
+from repro.dlx.system import DlxSystem, RunResult
+
+__all__ = [
+    "assemble",
+    "DlxConfig",
+    "DlxCore",
+    "build_dlx",
+    "CommitRecord",
+    "GoldenDlx",
+    "GoldenResult",
+    "NOP",
+    "decode",
+    "disassemble",
+    "INITIAL_DATA",
+    "PROGRAMS",
+    "load",
+    "DlxSystem",
+    "RunResult",
+]

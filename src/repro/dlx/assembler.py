@@ -1,0 +1,169 @@
+"""Two-pass assembler for the DLX subset.
+
+Syntax::
+
+    ; comment            # comment
+    label:
+        addi r1, r0, 5
+        lw   r2, 3(r1)
+        beq  r1, r2, done
+        j    loop
+        .word 0x1234     ; literal data/instruction word
+    done:
+        halt
+
+Registers are ``r0``..``r31`` (the core may implement fewer); branch
+operands may be labels (PC-relative offsets are computed) or literal
+offsets; jump operands may be labels or absolute word addresses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dlx.isa import (
+    Format,
+    OPS,
+    encode_i,
+    encode_j,
+    encode_r,
+)
+from repro.utils.errors import AssemblerError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_REG_RE = re.compile(r"^[rR](\d+)$")
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblerError(f"expected register, got {token!r}", line_no)
+    number = int(match.group(1))
+    if number > 31:
+        raise AssemblerError(f"register r{number} out of range", line_no)
+    return number
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"expected number, got {token!r}",
+                             line_no) from None
+
+
+def _operands(rest: str) -> list[str]:
+    return [token.strip() for token in rest.split(",") if token.strip()]
+
+
+def assemble(source: str) -> list[int]:
+    """Assemble ``source`` into a list of instruction words."""
+    # Pass 1: collect labels and the statement list.
+    statements: list[tuple[int, str, str]] = []  # (line_no, mnemonic, rest)
+    labels: dict[str, int] = {}
+    address = 0
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                label = match.group(1)
+                if label in labels:
+                    raise AssemblerError(f"duplicate label {label}", line_no)
+                labels[label] = address
+                line = match.group(2).strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        statements.append((line_no, mnemonic, rest))
+        address += 1
+
+    # Pass 2: encode.
+    words: list[int] = []
+    for pc, (line_no, mnemonic, rest) in enumerate(statements):
+        words.append(_encode(pc, line_no, mnemonic, rest, labels))
+    return words
+
+
+def _resolve_branch(token: str, pc: int, labels: dict[str, int],
+                    line_no: int) -> int:
+    if token in labels:
+        return labels[token] - (pc + 1)
+    return _parse_int(token, line_no)
+
+
+def _encode(pc: int, line_no: int, mnemonic: str, rest: str,
+            labels: dict[str, int]) -> int:
+    if mnemonic == ".word":
+        return _parse_int(rest.strip(), line_no) & 0xFFFFFFFF
+    if mnemonic == "nop":
+        from repro.dlx.isa import NOP
+        return NOP
+    spec = OPS.get(mnemonic)
+    if spec is None:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+    operands = _operands(rest)
+    if spec.fmt is Format.HALT:
+        return encode_j(spec.opcode, 0)
+    if spec.fmt is Format.J:
+        if len(operands) != 1:
+            raise AssemblerError("j takes one operand", line_no)
+        token = operands[0]
+        target = labels.get(token)
+        if target is None:
+            target = _parse_int(token, line_no)
+        return encode_j(spec.opcode, target)
+    if spec.fmt is Format.R:
+        if len(operands) != 3:
+            raise AssemblerError(f"{mnemonic} takes three operands", line_no)
+        rd = _parse_register(operands[0], line_no)
+        if spec.is_shift:
+            rt = _parse_register(operands[1], line_no)
+            shamt = _parse_int(operands[2], line_no)
+            if not 0 <= shamt < 32:
+                raise AssemblerError(f"shift amount {shamt} out of range",
+                                     line_no)
+            return encode_r(0, rt, rd, shamt, spec.funct)
+        rs = _parse_register(operands[1], line_no)
+        rt = _parse_register(operands[2], line_no)
+        return encode_r(rs, rt, rd, 0, spec.funct)
+    # I-type.
+    if mnemonic in ("lw", "sw"):
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} takes rt, offset(rs)", line_no)
+        rt = _parse_register(operands[0], line_no)
+        match = re.match(r"^(-?\w+)\((\w+)\)$", operands[1])
+        if not match:
+            raise AssemblerError(f"bad memory operand {operands[1]!r}",
+                                 line_no)
+        offset = _parse_int(match.group(1), line_no)
+        rs = _parse_register(match.group(2), line_no)
+        return encode_i(spec.opcode, rs, rt, offset)
+    if mnemonic in ("beq", "bne"):
+        if len(operands) != 3:
+            raise AssemblerError(f"{mnemonic} takes rs, rt, target", line_no)
+        rs = _parse_register(operands[0], line_no)
+        rt = _parse_register(operands[1], line_no)
+        offset = _resolve_branch(operands[2], pc, labels, line_no)
+        if not -0x8000 <= offset < 0x8000:
+            raise AssemblerError(f"branch offset {offset} out of range",
+                                 line_no)
+        return encode_i(spec.opcode, rs, rt, offset)
+    if len(operands) != 3:
+        raise AssemblerError(f"{mnemonic} takes rt, rs, imm", line_no)
+    rt = _parse_register(operands[0], line_no)
+    rs = _parse_register(operands[1], line_no)
+    imm = _parse_int(operands[2], line_no)
+    return encode_i(spec.opcode, rs, rt, imm)

@@ -1,0 +1,340 @@
+"""The pipelined DLX core, synthesized to gates.
+
+A classic five-stage pipeline (IF, ID, EX, MEM, WB) with:
+
+* full forwarding from EX/MEM (ALU results) and MEM/WB into EX;
+* one-cycle load-use interlock (hazard unit stalls IF/ID and bubbles EX);
+* jumps resolved in ID (one squashed slot), branches in EX (two);
+* a sticky ``halted`` flag raised by the HALT opcode.
+
+Memory is split out through ports (behavioural instruction/data memories
+live in :mod:`repro.dlx.system`), matching the paper's DLX whose caches
+are outside the de-synchronized core.  The register file is flip-flop
+based (per-register banks ``r1``..``rN-1``), so after de-synchronization
+each architectural register, each pipeline register and the PC is a
+register bank in the controller clustering.
+
+The core is parametric in datapath width and register count: the paper's
+configuration is 32 x 32 (used for the area study), while the simulation
+benchmarks default to narrower configurations that keep pure-Python
+gate-level runs fast.  ``width`` must be at least 16 (the immediate
+field).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dlx import isa
+from repro.netlist.core import Netlist
+from repro.rtl.module import RtlModule
+from repro.rtl.signal import Bus, const, mux, mux_many
+from repro.utils.errors import RtlError
+
+# ALU operation encoding (4 bits).
+ALU_ADD, ALU_SUB, ALU_AND, ALU_OR, ALU_XOR = 0, 1, 2, 3, 4
+ALU_SLT, ALU_SLL, ALU_SRL, ALU_SRA = 5, 6, 7, 8
+
+_FUNCT_TO_ALU = [
+    (isa.FN_ADD, ALU_ADD), (isa.FN_SUB, ALU_SUB), (isa.FN_AND, ALU_AND),
+    (isa.FN_OR, ALU_OR), (isa.FN_XOR, ALU_XOR), (isa.FN_SLT, ALU_SLT),
+    (isa.FN_SLL, ALU_SLL), (isa.FN_SRL, ALU_SRL), (isa.FN_SRA, ALU_SRA),
+]
+_OPCODE_TO_ALU = [
+    (isa.OP_ADDI, ALU_ADD), (isa.OP_SLTI, ALU_SLT), (isa.OP_ANDI, ALU_AND),
+    (isa.OP_ORI, ALU_OR), (isa.OP_XORI, ALU_XOR), (isa.OP_LW, ALU_ADD),
+    (isa.OP_SW, ALU_ADD),
+]
+
+
+@dataclass
+class DlxConfig:
+    """Core parameters."""
+
+    width: int = 16
+    n_registers: int = 8
+    name: str = "dlx"
+
+    def __post_init__(self) -> None:
+        if self.width < 16:
+            raise RtlError("datapath width must be >= 16 (immediate field)")
+        if self.n_registers < 4 or self.n_registers & (self.n_registers - 1):
+            raise RtlError("register count must be a power of two >= 4")
+
+    @property
+    def reg_bits(self) -> int:
+        return int(math.log2(self.n_registers))
+
+
+@dataclass
+class DlxCore:
+    """The synthesized core plus its port map."""
+
+    config: DlxConfig
+    netlist: Netlist
+
+    @property
+    def width(self) -> int:
+        return self.config.width
+
+
+class _Packer:
+    """Helper to pack named fields into one wide pipeline register."""
+
+    def __init__(self) -> None:
+        self.fields: list[tuple[str, Bus]] = []
+
+    def add(self, name: str, bus: Bus) -> None:
+        self.fields.append((name, bus))
+
+    @property
+    def width(self) -> int:
+        return sum(bus.width for _, bus in self.fields)
+
+    def pack(self) -> Bus:
+        packed = self.fields[0][1]
+        for _, bus in self.fields[1:]:
+            packed = packed.concat(bus)
+        return packed
+
+    def unpack(self, packed: Bus) -> dict[str, Bus]:
+        result: dict[str, Bus] = {}
+        offset = 0
+        for name, bus in self.fields:
+            result[name] = packed[offset:offset + bus.width]
+            offset += bus.width
+        return result
+
+
+def build_dlx(config: DlxConfig | None = None) -> DlxCore:
+    """Build the gate-level DLX for ``config``."""
+    cfg = config if config is not None else DlxConfig()
+    width, reg_bits = cfg.width, cfg.reg_bits
+    module = RtlModule(cfg.name)
+
+    # ------------------------------------------------------------------
+    # ports and architectural state
+    # ------------------------------------------------------------------
+    imem_data = module.input("imem_data", isa.INSTRUCTION_BITS)
+    dmem_rdata = module.input("dmem_rdata", width)
+    pc = module.reg("pc", width)
+    halted = module.reg("halted", 1)
+    registers = [module.reg(f"r{i}", width)
+                 for i in range(1, cfg.n_registers)]
+    zero = const(0, width)
+    reg_values = [zero] + [register.bus for register in registers]
+
+    if_id = module.reg("if_id", isa.INSTRUCTION_BITS)  # init 0 == NOP
+
+    # MEM/WB is declared first so the decode stage can bypass the value
+    # being written back this cycle (the classic "write-first register
+    # file" of the 5-stage pipeline).
+    mem_wb_fields = _Packer()
+    mem_wb_fields.add("val", zero)
+    mem_wb_fields.add("rd", const(0, reg_bits))
+    mem_wb_fields.add("we", const(0, 1))
+    mem_wb = module.reg("mem_wb", mem_wb_fields.width)
+    wb = mem_wb_fields.unpack(mem_wb.bus)
+
+    # ------------------------------------------------------------------
+    # ID: decode, register read, jump resolution
+    # ------------------------------------------------------------------
+    instr = if_id.bus
+    opcode = instr[26:32]
+    funct = instr[0:6]
+    shamt = instr[6:11]
+    rs_idx = instr[21:21 + reg_bits]
+    rt_idx = instr[16:16 + reg_bits]
+    rd_idx = instr[11:11 + reg_bits]
+    imm16 = instr[0:16]
+
+    is_rtype = opcode.eq(const(isa.OP_RTYPE, 6))
+    is_halt = opcode.eq(const(isa.OP_HALT, 6))
+    is_jump = opcode.eq(const(isa.OP_J, 6))
+    is_beq = opcode.eq(const(isa.OP_BEQ, 6))
+    is_bne = opcode.eq(const(isa.OP_BNE, 6))
+    is_load = opcode.eq(const(isa.OP_LW, 6))
+    is_store = opcode.eq(const(isa.OP_SW, 6))
+    is_logic_imm = (opcode.eq(const(isa.OP_ANDI, 6))
+                    | opcode.eq(const(isa.OP_ORI, 6))
+                    | opcode.eq(const(isa.OP_XORI, 6)))
+    is_arith_imm = (opcode.eq(const(isa.OP_ADDI, 6))
+                    | opcode.eq(const(isa.OP_SLTI, 6)))
+    is_imm_alu = is_logic_imm | is_arith_imm
+
+    writes_reg = is_rtype | is_imm_alu | is_load
+    is_shift = is_rtype & (funct.eq(const(isa.FN_SLL, 6))
+                           | funct.eq(const(isa.FN_SRL, 6))
+                           | funct.eq(const(isa.FN_SRA, 6)))
+
+    def read_port(index: Bus) -> Bus:
+        value = mux_many(index, reg_values)
+        bypass = wb["we"] & wb["rd"].eq(index) & index.reduce_or()
+        return mux(bypass, wb["val"], value)
+
+    rs_val = read_port(rs_idx)
+    rt_val = read_port(rt_idx)
+
+    signed_imm = imm16.sign_extend(width)
+    zero_imm = imm16.zero_extend(width)
+    shamt_imm = shamt.zero_extend(width)
+    imm_ext = mux(is_shift, shamt_imm,
+                  mux(is_logic_imm, zero_imm, signed_imm))
+
+    alu_op = const(ALU_ADD, 4)
+    for opc, op in _OPCODE_TO_ALU:
+        alu_op = mux(opcode.eq(const(opc, 6)), const(op, 4), alu_op)
+    funct_op = const(ALU_ADD, 4)
+    for fn, op in _FUNCT_TO_ALU:
+        funct_op = mux(funct.eq(const(fn, 6)), const(op, 4), funct_op)
+    alu_op = mux(is_rtype, funct_op, alu_op)
+
+    dest = mux(is_rtype, rd_idx, rt_idx)
+    alu_src = is_imm_alu | is_load | is_store
+
+    # ------------------------------------------------------------------
+    # pipeline payload registers
+    # ------------------------------------------------------------------
+    id_ex_fields = _Packer()
+    id_ex_fields.add("a", rs_val)
+    id_ex_fields.add("b", rt_val)
+    id_ex_fields.add("imm", imm_ext)
+    id_ex_fields.add("pcn", pc.bus)  # placeholder widths; packed below
+    id_ex_fields.add("rs", rs_idx)
+    id_ex_fields.add("rt", rt_idx)
+    id_ex_fields.add("rd", dest)
+    id_ex_fields.add("alu_op", alu_op)
+    id_ex_fields.add("alu_src", alu_src)
+    id_ex_fields.add("is_load", is_load)
+    id_ex_fields.add("is_store", is_store)
+    id_ex_fields.add("we", writes_reg)
+    id_ex_fields.add("beq", is_beq)
+    id_ex_fields.add("bne", is_bne)
+    id_ex = module.reg("id_ex", id_ex_fields.width)
+    ex = id_ex_fields.unpack(id_ex.bus)
+
+    ex_mem_fields = _Packer()
+    ex_mem_fields.add("alu", zero)
+    ex_mem_fields.add("store_data", zero)
+    ex_mem_fields.add("rd", const(0, reg_bits))
+    ex_mem_fields.add("we", const(0, 1))
+    ex_mem_fields.add("is_load", const(0, 1))
+    ex_mem_fields.add("is_store", const(0, 1))
+    ex_mem = module.reg("ex_mem", ex_mem_fields.width)
+    mem = ex_mem_fields.unpack(ex_mem.bus)
+
+    # ------------------------------------------------------------------
+    # EX: forwarding, ALU, branch resolution
+    # ------------------------------------------------------------------
+    def forward(value: Bus, index: Bus) -> Bus:
+        nonzero = index.reduce_or()
+        from_wb = wb["we"] & wb["rd"].eq(index) & nonzero
+        from_mem = (mem["we"] & ~mem["is_load"] & mem["rd"].eq(index)
+                    & nonzero)
+        return mux(from_mem, mem["alu"], mux(from_wb, wb["val"], value))
+
+    a_fwd = forward(ex["a"], ex["rs"])
+    b_fwd = forward(ex["b"], ex["rt"])
+    operand_b = mux(ex["alu_src"], ex["imm"], b_fwd)
+
+    shift_bits = max(1, int(math.log2(width)))
+    shift_amount = ex["imm"][0:shift_bits]
+    alu_results = [
+        a_fwd + operand_b,                                  # ALU_ADD
+        a_fwd - operand_b,                                  # ALU_SUB
+        a_fwd & operand_b,                                  # ALU_AND
+        a_fwd | operand_b,                                  # ALU_OR
+        a_fwd ^ operand_b,                                  # ALU_XOR
+        a_fwd.lt_signed(operand_b).zero_extend(width),      # ALU_SLT
+        b_fwd.shift_left(shift_amount),                     # ALU_SLL
+        b_fwd.shift_right(shift_amount),                    # ALU_SRL
+        b_fwd.shift_right_arith(shift_amount),              # ALU_SRA
+    ]
+    alu_out = mux_many(ex["alu_op"], alu_results)
+
+    equal = a_fwd.eq(b_fwd)
+    branch_taken = (ex["beq"] & equal) | (ex["bne"] & ~equal)
+    branch_target = ex["pcn"] + ex["imm"]
+
+    # ------------------------------------------------------------------
+    # hazards and next-state wiring
+    # ------------------------------------------------------------------
+    load_use = (ex["is_load"]
+                & (ex["rd"].eq(rs_idx) | ex["rd"].eq(rt_idx))
+                & ex["rd"].reduce_or())
+    stall = load_use
+    # A HALT sitting in ID is wrong-path if the branch in EX is taken —
+    # it must not latch the sticky flag in that case.
+    halt_now = halted.bus[0] | (is_halt & ~branch_taken)
+    fetch_hold = stall | halt_now
+
+    # Jumps squash only the following fetch; the jump itself proceeds.
+    pc_plus_1 = pc.bus + const(1, width)
+    jump_target = instr[0:min(26, width)].zero_extend(width)
+    pc_next = mux(branch_taken, branch_target,
+                  mux(is_jump & ~stall, jump_target, pc_plus_1))
+    pc.next = mux(fetch_hold & ~branch_taken, pc.bus, pc_next)
+
+    nop = const(0, isa.INSTRUCTION_BITS)
+    if_id.next = mux(branch_taken | (is_jump & ~stall) | halt_now, nop,
+                     mux(stall, if_id.bus, imem_data))
+
+    bubble = branch_taken | stall | is_halt
+    id_ex_fields_next = _Packer()
+    id_ex_fields_next.add("a", rs_val)
+    id_ex_fields_next.add("b", rt_val)
+    id_ex_fields_next.add("imm", imm_ext)
+    # While an instruction sits in ID, pc already points one past it, so
+    # pc.bus *is* that instruction's PC+1 (the branch offset base).
+    id_ex_fields_next.add("pcn", pc.bus)
+    id_ex_fields_next.add("rs", rs_idx)
+    id_ex_fields_next.add("rt", rt_idx)
+    id_ex_fields_next.add("rd", dest)
+    id_ex_fields_next.add("alu_op", alu_op)
+    id_ex_fields_next.add("alu_src", alu_src)
+    id_ex_fields_next.add("is_load", is_load & ~bubble)
+    id_ex_fields_next.add("is_store", is_store & ~bubble)
+    id_ex_fields_next.add("we", writes_reg & ~bubble)
+    id_ex_fields_next.add("beq", is_beq & ~bubble)
+    id_ex_fields_next.add("bne", is_bne & ~bubble)
+    id_ex.next = id_ex_fields_next.pack()
+
+    ex_mem_next = _Packer()
+    ex_mem_next.add("alu", alu_out)
+    ex_mem_next.add("store_data", b_fwd)
+    ex_mem_next.add("rd", ex["rd"])
+    ex_mem_next.add("we", ex["we"])
+    ex_mem_next.add("is_load", ex["is_load"])
+    ex_mem_next.add("is_store", ex["is_store"])
+    ex_mem.next = ex_mem_next.pack()
+
+    mem_value = mux(mem["is_load"], dmem_rdata, mem["alu"])
+    mem_wb_next = _Packer()
+    mem_wb_next.add("val", mem_value)
+    mem_wb_next.add("rd", mem["rd"])
+    mem_wb_next.add("we", mem["we"])
+    mem_wb.next = mem_wb_next.pack()
+
+    halted.next = halt_now.zero_extend(1)
+
+    # ------------------------------------------------------------------
+    # register file write-back
+    # ------------------------------------------------------------------
+    for i, register in enumerate(registers, start=1):
+        hit = wb["we"] & wb["rd"].eq(const(i, reg_bits))
+        register.next = mux(hit, wb["val"], register.bus)
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    module.output("imem_addr", pc.bus)
+    module.output("dmem_addr", mem["alu"])
+    module.output("dmem_wdata", mem["store_data"])
+    module.output("dmem_we", mem["is_store"])
+    module.output("halted", halted.bus)
+    module.output("wb_we", wb["we"])
+    module.output("wb_rd", wb["rd"])
+    module.output("wb_val", wb["val"])
+
+    return DlxCore(config=cfg, netlist=module.build())

@@ -1,0 +1,161 @@
+"""Golden instruction-set simulator (architectural reference).
+
+Executes the DLX subset one instruction at a time — no pipeline, no
+hazards — producing the architectural state and commit trace the
+gate-level pipelined core must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dlx.isa import (
+    FN_ADD,
+    FN_AND,
+    FN_OR,
+    FN_SLL,
+    FN_SLT,
+    FN_SRA,
+    FN_SRL,
+    FN_SUB,
+    FN_XOR,
+    OP_ADDI,
+    OP_ANDI,
+    OP_BEQ,
+    OP_BNE,
+    OP_J,
+    OP_LW,
+    OP_ORI,
+    OP_RTYPE,
+    OP_SLTI,
+    OP_SW,
+    OP_XORI,
+    decode,
+)
+from repro.utils.errors import ReproError
+
+
+class GoldenError(ReproError):
+    """Architectural simulation failure (bad opcode, runaway program)."""
+
+
+@dataclass
+class CommitRecord:
+    """One architecturally-committed register write."""
+
+    pc: int
+    register: int
+    value: int
+
+
+@dataclass
+class GoldenResult:
+    """Final architectural state plus the commit trace."""
+
+    registers: list[int]
+    memory: dict[int, int]
+    instructions_executed: int
+    commits: list[CommitRecord] = field(default_factory=list)
+    halted: bool = True
+
+
+class GoldenDlx:
+    """Architectural simulator for the DLX subset."""
+
+    def __init__(self, width: int = 16, n_registers: int = 8):
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.n_registers = n_registers
+
+    def _signed(self, value: int) -> int:
+        sign = 1 << (self.width - 1)
+        return value - (1 << self.width) if value & sign else value
+
+    def run(self, program: list[int],
+            memory: dict[int, int] | None = None,
+            max_steps: int = 100_000) -> GoldenResult:
+        regs = [0] * self.n_registers
+        mem = dict(memory or {})
+        commits: list[CommitRecord] = []
+        pc = 0
+        steps = 0
+        reg_mask = self.n_registers - 1
+        while steps < max_steps:
+            if not 0 <= pc < len(program):
+                raise GoldenError(f"PC {pc} outside the program")
+            inst = decode(program[pc])
+            steps += 1
+            next_pc = pc + 1
+            write_reg: int | None = None
+            value = 0
+            if inst.is_halt:
+                return GoldenResult(registers=regs, memory=mem,
+                                    instructions_executed=steps,
+                                    commits=commits, halted=True)
+            rs = regs[inst.rs & reg_mask]
+            rt = regs[inst.rt & reg_mask]
+            if inst.opcode == OP_RTYPE:
+                write_reg = inst.rd & reg_mask
+                value = self._alu_r(inst.funct, rs, rt, inst.shamt)
+            elif inst.opcode == OP_ADDI:
+                write_reg = inst.rt & reg_mask
+                value = (rs + inst.simm) & self.mask
+            elif inst.opcode == OP_SLTI:
+                write_reg = inst.rt & reg_mask
+                value = int(self._signed(rs) < inst.simm)
+            elif inst.opcode == OP_ANDI:
+                write_reg = inst.rt & reg_mask
+                value = rs & inst.imm & self.mask
+            elif inst.opcode == OP_ORI:
+                write_reg = inst.rt & reg_mask
+                value = (rs | inst.imm) & self.mask
+            elif inst.opcode == OP_XORI:
+                write_reg = inst.rt & reg_mask
+                value = (rs ^ inst.imm) & self.mask
+            elif inst.opcode == OP_LW:
+                write_reg = inst.rt & reg_mask
+                address = (rs + inst.simm) & self.mask
+                value = mem.get(address, 0) & self.mask
+            elif inst.opcode == OP_SW:
+                address = (rs + inst.simm) & self.mask
+                mem[address] = rt & self.mask
+            elif inst.opcode == OP_BEQ:
+                if rs == rt:
+                    next_pc = pc + 1 + inst.simm
+            elif inst.opcode == OP_BNE:
+                if rs != rt:
+                    next_pc = pc + 1 + inst.simm
+            elif inst.opcode == OP_J:
+                next_pc = inst.target
+            else:
+                raise GoldenError(f"unknown opcode {inst.opcode:#x} "
+                                  f"at PC {pc}")
+            if write_reg is not None and write_reg != 0:
+                regs[write_reg] = value & self.mask
+                commits.append(CommitRecord(pc, write_reg,
+                                            value & self.mask))
+            pc = next_pc
+        return GoldenResult(registers=regs, memory=mem,
+                            instructions_executed=steps,
+                            commits=commits, halted=False)
+
+    def _alu_r(self, funct: int, rs: int, rt: int, shamt: int) -> int:
+        if funct == FN_ADD:
+            return (rs + rt) & self.mask
+        if funct == FN_SUB:
+            return (rs - rt) & self.mask
+        if funct == FN_AND:
+            return rs & rt
+        if funct == FN_OR:
+            return rs | rt
+        if funct == FN_XOR:
+            return rs ^ rt
+        if funct == FN_SLT:
+            return int(self._signed(rs) < self._signed(rt))
+        if funct == FN_SLL:
+            return (rt << (shamt % self.width)) & self.mask
+        if funct == FN_SRL:
+            return (rt >> (shamt % self.width)) & self.mask
+        if funct == FN_SRA:
+            return self._signed(rt) >> (shamt % self.width) & self.mask
+        raise GoldenError(f"unknown funct {funct:#x}")

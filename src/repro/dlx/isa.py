@@ -1,0 +1,178 @@
+"""DLX subset instruction-set architecture.
+
+A word-addressed, MIPS/DLX-style ISA with 32-bit instructions and a
+parametric datapath width.  This is the subset the pipelined core
+implements; it is rich enough for the benchmark programs (arithmetic,
+logic, shifts, comparisons, loads/stores, branches, jumps) while keeping
+the gate-level core tractable in pure-Python simulation.
+
+Encoding (fields as in MIPS):
+
+    R-type : opcode=0 | rs | rt | rd | shamt | funct
+    I-type : opcode   | rs | rt | imm16
+    J-type : opcode   | target26
+
+The PC counts instruction *words*; branch offsets are relative to PC+1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+INSTRUCTION_BITS = 32
+
+OP_RTYPE = 0x00
+OP_J = 0x02
+OP_BEQ = 0x04
+OP_BNE = 0x05
+OP_ADDI = 0x08
+OP_SLTI = 0x0A
+OP_ANDI = 0x0C
+OP_ORI = 0x0D
+OP_XORI = 0x0E
+OP_LW = 0x23
+OP_SW = 0x2B
+OP_HALT = 0x3F
+
+FN_SLL = 0x00
+FN_SRL = 0x02
+FN_SRA = 0x03
+FN_ADD = 0x20
+FN_SUB = 0x22
+FN_AND = 0x24
+FN_OR = 0x25
+FN_XOR = 0x26
+FN_SLT = 0x2A
+
+
+class Format(enum.Enum):
+    R = "r"
+    I = "i"
+    J = "j"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Assembly-level description of one mnemonic."""
+
+    mnemonic: str
+    fmt: Format
+    opcode: int
+    funct: int = 0
+    signed_imm: bool = True
+    is_shift: bool = False
+
+
+OPS: dict[str, OpSpec] = {spec.mnemonic: spec for spec in [
+    OpSpec("add", Format.R, OP_RTYPE, FN_ADD),
+    OpSpec("sub", Format.R, OP_RTYPE, FN_SUB),
+    OpSpec("and", Format.R, OP_RTYPE, FN_AND),
+    OpSpec("or", Format.R, OP_RTYPE, FN_OR),
+    OpSpec("xor", Format.R, OP_RTYPE, FN_XOR),
+    OpSpec("slt", Format.R, OP_RTYPE, FN_SLT),
+    OpSpec("sll", Format.R, OP_RTYPE, FN_SLL, is_shift=True),
+    OpSpec("srl", Format.R, OP_RTYPE, FN_SRL, is_shift=True),
+    OpSpec("sra", Format.R, OP_RTYPE, FN_SRA, is_shift=True),
+    OpSpec("addi", Format.I, OP_ADDI),
+    OpSpec("slti", Format.I, OP_SLTI),
+    OpSpec("andi", Format.I, OP_ANDI, signed_imm=False),
+    OpSpec("ori", Format.I, OP_ORI, signed_imm=False),
+    OpSpec("xori", Format.I, OP_XORI, signed_imm=False),
+    OpSpec("lw", Format.I, OP_LW),
+    OpSpec("sw", Format.I, OP_SW),
+    OpSpec("beq", Format.I, OP_BEQ),
+    OpSpec("bne", Format.I, OP_BNE),
+    OpSpec("j", Format.J, OP_J),
+    OpSpec("halt", Format.HALT, OP_HALT),
+]}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction word."""
+
+    opcode: int
+    rs: int
+    rt: int
+    rd: int
+    shamt: int
+    funct: int
+    imm: int      # raw 16-bit field
+    target: int   # raw 26-bit field
+
+    @property
+    def simm(self) -> int:
+        """Sign-extended immediate."""
+        return self.imm - 0x10000 if self.imm & 0x8000 else self.imm
+
+    @property
+    def is_rtype(self) -> bool:
+        return self.opcode == OP_RTYPE
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode == OP_HALT
+
+
+def encode_r(rs: int, rt: int, rd: int, shamt: int, funct: int) -> int:
+    return ((OP_RTYPE << 26) | (rs << 21) | (rt << 16) | (rd << 11)
+            | (shamt << 6) | funct)
+
+
+def encode_i(opcode: int, rs: int, rt: int, imm: int) -> int:
+    return (opcode << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF)
+
+
+def encode_j(opcode: int, target: int) -> int:
+    return (opcode << 26) | (target & 0x3FFFFFF)
+
+
+NOP = encode_r(0, 0, 0, 0, FN_SLL)  # sll r0, r0, 0
+HALT_WORD = encode_j(OP_HALT, 0)
+
+
+def decode(word: int) -> Instruction:
+    """Split a 32-bit instruction word into fields."""
+    return Instruction(
+        opcode=(word >> 26) & 0x3F,
+        rs=(word >> 21) & 0x1F,
+        rt=(word >> 16) & 0x1F,
+        rd=(word >> 11) & 0x1F,
+        shamt=(word >> 6) & 0x1F,
+        funct=word & 0x3F,
+        imm=word & 0xFFFF,
+        target=word & 0x3FFFFFF,
+    )
+
+
+def disassemble(word: int) -> str:
+    """Human-readable form of an instruction word."""
+    inst = decode(word)
+    if word == NOP:
+        return "nop"
+    if inst.is_halt:
+        return "halt"
+    if inst.is_rtype:
+        for spec in OPS.values():
+            if spec.fmt is Format.R and spec.funct == inst.funct:
+                if spec.is_shift:
+                    return (f"{spec.mnemonic} r{inst.rd}, r{inst.rt}, "
+                            f"{inst.shamt}")
+                return (f"{spec.mnemonic} r{inst.rd}, r{inst.rs}, "
+                        f"r{inst.rt}")
+        return f".word {word:#010x}"
+    for spec in OPS.values():
+        if spec.fmt is Format.I and spec.opcode == inst.opcode:
+            if spec.mnemonic in ("lw", "sw"):
+                return (f"{spec.mnemonic} r{inst.rt}, "
+                        f"{inst.simm}(r{inst.rs})")
+            if spec.mnemonic in ("beq", "bne"):
+                return (f"{spec.mnemonic} r{inst.rs}, r{inst.rt}, "
+                        f"{inst.simm}")
+            return (f"{spec.mnemonic} r{inst.rt}, r{inst.rs}, "
+                    f"{inst.simm if spec.signed_imm else inst.imm}")
+        if spec.fmt is Format.J and spec.opcode == inst.opcode:
+            return f"{spec.mnemonic} {inst.target}"
+    return f".word {word:#010x}"

@@ -1,0 +1,119 @@
+"""Benchmark programs for the DLX case study.
+
+Each program exercises a different mix of the pipeline: arithmetic
+chains, memory traffic, branches, hazards.  Programs end with ``halt``;
+expected results are documented per program and checked against the
+golden simulator in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.dlx.assembler import assemble
+
+FIBONACCI = """
+; r1 = fib(10) iteratively
+        addi r1, r0, 0      ; fib(i)
+        addi r2, r0, 1      ; fib(i+1)
+        addi r3, r0, 10     ; remaining iterations
+loop:   beq  r3, r0, done
+        add  r4, r1, r2     ; next
+        add  r1, r2, r0
+        add  r2, r4, r0
+        addi r3, r3, -1
+        j    loop
+done:   halt
+"""
+
+GCD = """
+; r3 = gcd(r1, r2) by repeated subtraction, inputs preloaded below
+        addi r1, r0, 126
+        addi r2, r0, 84
+loop:   beq  r1, r2, done
+        slt  r4, r1, r2
+        bne  r4, r0, swap
+        sub  r1, r1, r2
+        j    loop
+swap:   sub  r2, r2, r1
+        j    loop
+done:   add  r3, r1, r0
+        halt
+"""
+
+MEMORY_SUM = """
+; sum memory words [16..23] into r2 (data preloaded by the harness)
+        addi r1, r0, 16     ; pointer
+        addi r2, r0, 0      ; sum
+        addi r3, r0, 24     ; limit
+loop:   beq  r1, r3, done
+        lw   r4, 0(r1)
+        add  r2, r2, r4
+        addi r1, r1, 1
+        j    loop
+done:   halt
+"""
+
+BUBBLE_SORT = """
+; sort 5 words at [32..36] ascending (simple bubble sort)
+        addi r6, r0, 0      ; swapped flag
+pass:   addi r1, r0, 32     ; pointer
+        addi r6, r0, 0
+inner:  addi r2, r1, 1
+        slti r3, r2, 37     ; r2 < 37 ?
+        beq  r3, r0, check
+        lw   r4, 0(r1)
+        lw   r5, 0(r2)
+        slt  r7, r5, r4     ; out of order?
+        beq  r7, r0, skip
+        sw   r5, 0(r1)
+        sw   r4, 0(r2)
+        addi r6, r0, 1
+skip:   addi r1, r1, 1
+        j    inner
+check:  bne  r6, r0, pass
+        halt
+"""
+
+SHIFT_MASK = """
+; bit fiddling: r3 = ((0x00F0 << 4) | 0x000F) ^ 0x0101, r4 = r3 >> 2
+        addi r1, r0, 0x00F0
+        sll  r2, r1, 4
+        ori  r2, r2, 0x000F
+        xori r3, r2, 0x0101
+        srl  r4, r3, 2
+        and  r5, r3, r4
+        halt
+"""
+
+HAZARD_TORTURE = """
+; back-to-back dependencies, load-use, branch after compare
+        addi r1, r0, 5
+        add  r2, r1, r1     ; EX->EX forward
+        add  r3, r2, r1     ; double forward
+        sw   r3, 8(r0)
+        lw   r4, 8(r0)      ; store-to-load
+        add  r5, r4, r4     ; load-use (stall + forward)
+        slt  r6, r1, r5
+        bne  r6, r0, taken
+        addi r7, r0, 99     ; squashed
+taken:  addi r7, r7, 1
+        halt
+"""
+
+PROGRAMS: dict[str, str] = {
+    "fibonacci": FIBONACCI,
+    "gcd": GCD,
+    "memory_sum": MEMORY_SUM,
+    "bubble_sort": BUBBLE_SORT,
+    "shift_mask": SHIFT_MASK,
+    "hazard_torture": HAZARD_TORTURE,
+}
+
+INITIAL_DATA: dict[str, dict[int, int]] = {
+    "memory_sum": {16 + i: (i + 1) * 3 for i in range(8)},
+    "bubble_sort": {32: 9, 33: 2, 34: 7, 35: 1, 36: 5},
+}
+
+
+def load(name: str) -> tuple[list[int], dict[int, int]]:
+    """Assembled words and initial data memory of one program."""
+    return assemble(PROGRAMS[name]), dict(INITIAL_DATA.get(name, {}))

@@ -1,0 +1,17 @@
+"""Flow-equivalence checking (the paper's correctness criterion)."""
+
+from repro.equiv.flow_equivalence import (
+    Divergence,
+    FlowEquivalenceReport,
+    check_flow_equivalence,
+    desync_streams,
+    reference_streams,
+)
+
+__all__ = [
+    "Divergence",
+    "FlowEquivalenceReport",
+    "check_flow_equivalence",
+    "desync_streams",
+    "reference_streams",
+]

@@ -1,0 +1,141 @@
+"""Flow-equivalence checking between synchronous and de-synchronized circuits.
+
+Flow equivalence [Guernic et al., ref 2 of the paper] is the correctness
+criterion of de-synchronization: *every register stores the same sequence
+of values in both circuits* (time is abstracted away; only the order of
+stored values per register matters).  Reference [1] proves the property
+for the model; here we check it observationally, which is the testable
+content of the theorem:
+
+* the synchronous reference streams come from the cycle-accurate
+  simulator (one capture per flip-flop per cycle);
+* the de-synchronized streams come from the event-driven simulator
+  running the controller fabric, recording what each master latch
+  captures at each of its closing edges.
+
+The k-th master-latch capture corresponds to the k-th flip-flop capture
+(both are "the value the register stores at the end of cycle k"), so the
+comparison is a plain per-register prefix check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.desync.flow import DesyncResult
+from repro.desync.latchify import master_name
+from repro.netlist.core import Netlist
+from repro.sim.logic import Value
+from repro.sim.simulator import EventSimulator
+from repro.sim.sync import CycleSimulator
+from repro.utils.errors import FlowEquivalenceError
+
+
+@dataclass
+class Divergence:
+    """First mismatch found for one register."""
+
+    register: str
+    cycle: int
+    sync_value: Value
+    desync_value: Value
+
+
+@dataclass
+class FlowEquivalenceReport:
+    """Outcome of a flow-equivalence check."""
+
+    equivalent: bool
+    cycles_compared: int
+    registers: int
+    divergences: list[Divergence] = field(default_factory=list)
+
+    def assert_ok(self) -> None:
+        if not self.equivalent:
+            first = self.divergences[0]
+            raise FlowEquivalenceError(
+                f"flow equivalence violated at register {first.register}, "
+                f"cycle {first.cycle}: sync={first.sync_value} "
+                f"desync={first.desync_value} "
+                f"({len(self.divergences)} diverging registers)")
+
+
+def reference_streams(netlist: Netlist, cycles: int,
+                      inputs: dict[str, Value] | None = None,
+                      inputs_per_cycle: list[dict[str, Value]] | None = None,
+                      ) -> dict[str, list[Value]]:
+    """Per-flip-flop capture streams from the synchronous reference."""
+    sim = CycleSimulator(netlist)
+    if inputs:
+        sim.set_inputs(inputs)
+    sim.run(cycles, inputs_per_cycle)
+    return {name: list(values) for name, values in sim.captures.items()}
+
+
+def desync_streams(result: DesyncResult, cycles: int,
+                   inputs: dict[str, Value] | None = None,
+                   time_limit: float | None = None,
+                   ) -> dict[str, list[Value]]:
+    """Per-register capture streams from the de-synchronized circuit.
+
+    Runs the event-driven simulator on the controller fabric until every
+    master latch has captured ``cycles`` values (or ``time_limit`` ps
+    elapse, which raises — a stalled handshake is a real failure).
+    Streams are keyed by the *original flip-flop name*.
+    """
+    sim = EventSimulator(result.desync_netlist,
+                         initial_inputs=dict(inputs or {}))
+    ff_names = [inst.name for inst in result.sync_netlist.dff_instances()]
+    masters = {master_name(ff): ff for ff in ff_names}
+    period = result.desync_cycle_time().cycle_time
+    horizon = time_limit if time_limit is not None else \
+        max(1.0, period) * (cycles + 8) * 2
+    chunk = max(1.0, period) * 2
+    now = 0.0
+    while now < horizon:
+        now = min(horizon, now + chunk)
+        sim.run(now)
+        if all(len(sim.captures.get(m, [])) >= cycles for m in masters):
+            break
+    else:
+        pass
+    shortfall = {m for m in masters
+                 if len(sim.captures.get(m, [])) < cycles}
+    if shortfall:
+        raise FlowEquivalenceError(
+            f"de-synchronized circuit stalled: {sorted(shortfall)[:5]} "
+            f"captured fewer than {cycles} values within {horizon:.0f} ps")
+    return {
+        masters[m]: [capture.value for capture in sim.captures[m][:cycles]]
+        for m in masters
+    }
+
+
+def check_flow_equivalence(result: DesyncResult, cycles: int = 20,
+                           inputs: dict[str, Value] | None = None,
+                           ) -> FlowEquivalenceReport:
+    """Compare the two circuits over ``cycles`` register captures.
+
+    ``inputs`` drives the primary data inputs with constant values in
+    both simulations (the circuits' dynamics then come from their state
+    evolution, which is what flow equivalence constrains).
+    """
+    sync = reference_streams(result.sync_netlist, cycles, inputs=inputs)
+    desync = desync_streams(result, cycles, inputs=inputs)
+    divergences: list[Divergence] = []
+    for register, sync_stream in sorted(sync.items()):
+        desync_stream = desync.get(register)
+        if desync_stream is None:
+            divergences.append(Divergence(register, 0, sync_stream[0], None))
+            continue
+        for k, (expected, actual) in enumerate(zip(sync_stream,
+                                                   desync_stream)):
+            if expected != actual:
+                divergences.append(Divergence(register, k, expected, actual))
+                break
+    return FlowEquivalenceReport(
+        equivalent=not divergences,
+        cycles_compared=cycles,
+        registers=len(sync),
+        divergences=divergences,
+    )

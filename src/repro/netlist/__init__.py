@@ -1,0 +1,30 @@
+"""Gate-level netlist representation and the generic cell library."""
+
+from repro.netlist.cells import (
+    Cell,
+    CellKind,
+    Library,
+    GENERIC,
+    generic_library,
+    truth_table,
+)
+from repro.netlist.core import Instance, Net, Netlist, clone, iter_register_banks
+from repro.netlist.dot import netlist_to_dot
+from repro.netlist.stats import NetlistStats, collect_stats
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "Library",
+    "GENERIC",
+    "generic_library",
+    "truth_table",
+    "Instance",
+    "Net",
+    "Netlist",
+    "clone",
+    "iter_register_banks",
+    "netlist_to_dot",
+    "NetlistStats",
+    "collect_stats",
+]

@@ -1,0 +1,290 @@
+"""Standard-cell library model.
+
+The paper's flow runs on a commercial 0.18 um library; offline we provide a
+self-consistent generic library with per-cell **logic function**, **area**
+(um^2), **propagation delay** (ps), **input capacitance** (fF) and **internal
+switching energy** (fJ).  Absolute values are calibrated so that a 32-bit DLX
+lands in the area/delay/power range of the paper's Table 1; what the
+reproduction relies on is that both the synchronous and the de-synchronized
+design are measured with the *same* library, so ratios are meaningful.
+
+Combinational cell functions are stored as truth tables (an integer bit mask
+over the 2^n input combinations), which makes gate evaluation O(1) and makes
+three-valued (0/1/X) evaluation a short enumeration.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.utils.errors import CellError
+
+
+class CellKind(enum.Enum):
+    """Behavioural class of a library cell."""
+
+    COMB = "comb"            # pure combinational function
+    DFF = "dff"              # rising-edge D flip-flop
+    LATCH_HIGH = "latch_h"   # D latch, transparent when EN == 1
+    LATCH_LOW = "latch_l"    # D latch, transparent when EN == 0
+    CELEMENT = "celement"    # Muller C-element (state-holding)
+    ACK = "ack"              # asymmetric C-element (handshake token cell)
+    REQ = "req"              # request token latch (set-dominant)
+    ASYM = "asym"            # asymmetric C-element (reset-dominant root)
+    TIE = "tie"              # constant driver
+
+
+# Pin-name conventions used throughout the library.
+PIN_D = "D"
+PIN_CLOCK = "CK"
+PIN_ENABLE = "EN"
+PIN_RESET_N = "RN"
+PIN_OUT = "Q"
+
+
+def truth_table(function: Callable[..., int], n_inputs: int) -> int:
+    """Build a truth-table bit mask for ``function`` of ``n_inputs`` bits.
+
+    Bit ``i`` of the result is the function value for the input combination
+    whose j-th input equals bit j of ``i``.
+
+    >>> bin(truth_table(lambda a, b: a & b, 2))
+    '0b1000'
+    """
+    table = 0
+    for combo in range(1 << n_inputs):
+        bits = [(combo >> j) & 1 for j in range(n_inputs)]
+        if function(*bits):
+            table |= 1 << combo
+    return table
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    Attributes:
+        name: library name, e.g. ``"NAND2"``.
+        kind: behavioural class.
+        inputs: ordered input pin names.
+        output: output pin name (all library cells have exactly one output).
+        tt: truth table mask for :attr:`CellKind.COMB` cells (and the
+            *set* function for C-elements, see :mod:`repro.sim.simulator`).
+        area: cell area in um^2.
+        delay: pin-to-output propagation delay in ps.
+        input_cap: capacitance of each input pin in fF.
+        energy: internal energy per output transition in fJ.
+        clock_pin: name of the clock/enable pin for sequential cells.
+    """
+
+    name: str
+    kind: CellKind
+    inputs: tuple[str, ...]
+    output: str
+    tt: int
+    area: float
+    delay: float
+    input_cap: float
+    energy: float
+    clock_pin: str | None = None
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def pins(self) -> tuple[str, ...]:
+        """All pins, inputs first then the output."""
+        return self.inputs + (self.output,)
+
+    def eval(self, *bits: int) -> int:
+        """Evaluate a combinational cell on fully-known 0/1 inputs."""
+        if self.kind is not CellKind.COMB and self.kind is not CellKind.TIE:
+            raise CellError(f"cell {self.name} is not combinational")
+        combo = 0
+        for j, bit in enumerate(bits):
+            if bit:
+                combo |= 1 << j
+        return (self.tt >> combo) & 1
+
+    def eval_ternary(self, bits: Iterable[int | None]) -> int | None:
+        """Evaluate with three-valued inputs (``None`` means X).
+
+        Returns 0 or 1 if the output is determined regardless of the X
+        inputs, otherwise ``None``.
+        """
+        bits = list(bits)
+        unknown = [j for j, bit in enumerate(bits) if bit is None]
+        base = 0
+        for j, bit in enumerate(bits):
+            if bit:
+                base |= 1 << j
+        first: int | None = None
+        for assignment in range(1 << len(unknown)):
+            combo = base
+            for k, j in enumerate(unknown):
+                if (assignment >> k) & 1:
+                    combo |= 1 << j
+            value = (self.tt >> combo) & 1
+            if first is None:
+                first = value
+            elif value != first:
+                return None
+        return first
+
+
+@dataclass
+class Library:
+    """A named collection of cells plus global technology parameters.
+
+    Attributes:
+        name: library name.
+        voltage: supply voltage in volts (used by the power model).
+        wire_cap_per_fanout: estimated wire capacitance added per fanout
+            connection, in fF (a simple fanout-based load model standing in
+            for extracted parasitics).
+        cells: mapping cell name -> :class:`Cell`.
+    """
+
+    name: str
+    voltage: float
+    wire_cap_per_fanout: float
+    cells: dict[str, Cell] = field(default_factory=dict)
+
+    def add(self, cell: Cell) -> Cell:
+        if cell.name in self.cells:
+            raise CellError(f"duplicate cell {cell.name}")
+        self.cells[cell.name] = cell
+        return cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise CellError(f"unknown cell {name!r} in library {self.name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def comb_cells(self) -> list[Cell]:
+        return [c for c in self.cells.values() if c.kind is CellKind.COMB]
+
+    def switching_energy(self, cell: Cell, fanout: int) -> float:
+        """Energy in fJ of one output transition of ``cell`` driving ``fanout`` pins.
+
+        E = internal energy + 1/2 * C_load * V^2 with C_load the sum of the
+        driven input caps (approximated by the average input cap) plus the
+        fanout-proportional wire capacitance.
+        """
+        load_cap = fanout * (self.average_input_cap + self.wire_cap_per_fanout)
+        return cell.energy + 0.5 * load_cap * self.voltage**2
+
+    @property
+    def average_input_cap(self) -> float:
+        caps = [c.input_cap for c in self.cells.values() if c.inputs]
+        return sum(caps) / len(caps) if caps else 0.0
+
+
+def _comb(name: str, n: int, fn: Callable[..., int], area: float,
+          delay: float, cap: float, energy: float) -> Cell:
+    inputs = tuple(chr(ord("A") + i) for i in range(n))
+    return Cell(name, CellKind.COMB, inputs, PIN_OUT,
+                truth_table(fn, n), area, delay, cap, energy)
+
+
+def generic_library() -> Library:
+    """Build the generic 0.18 um-class library used by all experiments.
+
+    Delay/area/power values are representative of a 0.18 um standard-cell
+    process (NAND2 ~ 12.5 um^2 / ~70 ps loaded; DFF ~ 64 um^2 with
+    ~300 ps clk->q).  See DESIGN.md section 2 for the calibration rationale.
+    """
+    lib = Library(name="generic180", voltage=1.8, wire_cap_per_fanout=1.2)
+
+    lib.add(_comb("INV", 1, lambda a: 1 - a, 6.3, 40.0, 2.0, 1.0))
+    lib.add(_comb("BUF", 1, lambda a: a, 9.4, 65.0, 2.0, 1.6))
+    lib.add(_comb("NAND2", 2, lambda a, b: 1 - (a & b), 12.5, 70.0, 2.2, 1.8))
+    lib.add(_comb("NAND3", 3, lambda a, b, c: 1 - (a & b & c), 15.6, 90.0, 2.4, 2.2))
+    lib.add(_comb("NAND4", 4, lambda a, b, c, d: 1 - (a & b & c & d),
+                  18.8, 110.0, 2.6, 2.6))
+    lib.add(_comb("NOR2", 2, lambda a, b: 1 - (a | b), 12.5, 80.0, 2.2, 1.8))
+    lib.add(_comb("NOR3", 3, lambda a, b, c: 1 - (a | b | c), 15.6, 105.0, 2.4, 2.2))
+    lib.add(_comb("AND2", 2, lambda a, b: a & b, 15.6, 95.0, 2.2, 2.0))
+    lib.add(_comb("AND3", 3, lambda a, b, c: a & b & c, 18.8, 115.0, 2.4, 2.4))
+    lib.add(_comb("AND4", 4, lambda a, b, c, d: a & b & c & d, 21.9, 135.0, 2.6, 2.8))
+    lib.add(_comb("OR2", 2, lambda a, b: a | b, 15.6, 100.0, 2.2, 2.0))
+    lib.add(_comb("OR3", 3, lambda a, b, c: a | b | c, 18.8, 125.0, 2.4, 2.4))
+    lib.add(_comb("OR4", 4, lambda a, b, c, d: a | b | c | d, 21.9, 145.0, 2.6, 2.8))
+    lib.add(_comb("XOR2", 2, lambda a, b: a ^ b, 21.9, 120.0, 3.0, 3.2))
+    lib.add(_comb("XNOR2", 2, lambda a, b: 1 - (a ^ b), 21.9, 120.0, 3.0, 3.2))
+    lib.add(_comb("MUX2", 3, lambda d0, d1, s: d1 if s else d0,
+                  21.9, 115.0, 2.6, 3.0))
+    lib.add(_comb("AOI21", 3, lambda a, b, c: 1 - ((a & b) | c),
+                  15.6, 85.0, 2.4, 2.1))
+    lib.add(_comb("OAI21", 3, lambda a, b, c: 1 - ((a | b) & c),
+                  15.6, 85.0, 2.4, 2.1))
+
+    lib.add(Cell("TIE0", CellKind.TIE, (), PIN_OUT, 0b0, 3.1, 0.0, 0.0, 0.0))
+    lib.add(Cell("TIE1", CellKind.TIE, (), PIN_OUT, 0b1, 3.1, 0.0, 0.0, 0.0))
+
+    # Sequential cells.  DFF area ~ a latch pair plus internal clocking;
+    # two discrete latches are slightly larger than one DFF, which is one
+    # source of the small de-synchronization area overhead.
+    lib.add(Cell("DFF", CellKind.DFF, (PIN_D, PIN_CLOCK), PIN_OUT, 0,
+                 64.1, 300.0, 3.5, 8.0, clock_pin=PIN_CLOCK))
+    lib.add(Cell("DFFR", CellKind.DFF, (PIN_D, PIN_CLOCK, PIN_RESET_N), PIN_OUT, 0,
+                 70.3, 310.0, 3.5, 8.5, clock_pin=PIN_CLOCK))
+    lib.add(Cell("LATCH_H", CellKind.LATCH_HIGH, (PIN_D, PIN_ENABLE), PIN_OUT, 0,
+                 34.4, 180.0, 3.0, 4.5, clock_pin=PIN_ENABLE))
+    lib.add(Cell("LATCH_L", CellKind.LATCH_LOW, (PIN_D, PIN_ENABLE), PIN_OUT, 0,
+                 34.4, 180.0, 3.0, 4.5, clock_pin=PIN_ENABLE))
+    lib.add(Cell("LATCH_HR", CellKind.LATCH_HIGH,
+                 (PIN_D, PIN_ENABLE, PIN_RESET_N), PIN_OUT, 0,
+                 39.1, 190.0, 3.0, 5.0, clock_pin=PIN_ENABLE))
+    lib.add(Cell("LATCH_LR", CellKind.LATCH_LOW,
+                 (PIN_D, PIN_ENABLE, PIN_RESET_N), PIN_OUT, 0,
+                 39.1, 190.0, 3.0, 5.0, clock_pin=PIN_ENABLE))
+
+    # Muller C-elements for the handshake controllers.  The truth table is
+    # the *set* condition (all inputs 1 -> 1, all inputs 0 -> 0, else hold);
+    # the simulator implements the hold behaviour.
+    lib.add(Cell("C2", CellKind.CELEMENT, ("A", "B"), PIN_OUT,
+                 truth_table(lambda a, b: a & b, 2), 28.1, 140.0, 2.8, 3.5))
+    lib.add(Cell("C3", CellKind.CELEMENT, ("A", "B", "C"), PIN_OUT,
+                 truth_table(lambda a, b, c: a & b & c, 3), 34.4, 160.0, 3.0, 4.0))
+
+    # Asymmetric C-element: the per-adjacency handshake token cell of the
+    # semi-decoupled latch controllers.  Pins: P = predecessor's local
+    # clock, R = the delayed request as seen by the successor, S = the
+    # successor's local clock.  Output rises when P = 0 and S = 0 (both
+    # latches closed: the successor has captured — the model's `af`
+    # token), falls when P = 1 and R = 1 (the predecessor reopened and
+    # its request reached the successor: the token is consumed), holds
+    # otherwise.  ``tt`` stores the set condition for documentation only.
+    lib.add(Cell("ACKC", CellKind.ACK, ("P", "R", "S"), PIN_OUT,
+                 truth_table(lambda p, r, s: (1 - p) & (1 - s), 3),
+                 31.3, 140.0, 2.8, 3.8))
+
+    # Request token latch: holds "new data has arrived" for one bank
+    # adjacency.  Sets whenever the (delayed) request wire R is high;
+    # clears once R has returned to zero while the consumer's local
+    # clock G pulses (the token is consumed).  ``tt`` stores the set
+    # condition for documentation.
+    lib.add(Cell("REQC", CellKind.REQ, ("R", "G"), PIN_OUT,
+                 truth_table(lambda r, g: r, 2), 28.1, 140.0, 2.8, 3.5))
+
+    # Reset-dominant asymmetric C-element: the controller root.  Rises
+    # when both the request tree R and the acknowledge tree A are high;
+    # falls as soon as R is low (acknowledges gate only the rise).
+    lib.add(Cell("AC2", CellKind.ASYM, ("R", "A"), PIN_OUT,
+                 truth_table(lambda r, a: r & a, 2), 28.1, 140.0, 2.8, 3.5))
+
+    return lib
+
+
+# A module-level shared instance: the library is immutable in practice and
+# building it is cheap, but sharing one avoids having distinct Cell objects
+# for the same cell in equality-sensitive code.
+GENERIC = generic_library()

@@ -1,0 +1,377 @@
+"""Gate-level netlist data model and builder API.
+
+A :class:`Netlist` is a flat interconnection of library-cell
+:class:`Instance` objects through single-bit :class:`Net` objects, with
+named input/output ports.  This is the representation every stage of the
+de-synchronization flow operates on: synthesis output, the latch-based
+conversion, the controller network, and both simulators.
+
+Conventions:
+    * every net has exactly one driver (an instance output pin or an input
+      port) once the netlist is complete — :meth:`Netlist.validate` enforces
+      this;
+    * vector signals are modelled as individual bit nets named
+      ``base[index]`` (see :mod:`repro.utils.naming`);
+    * sequential instances carry an ``init`` value, the power-up state of
+      their output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import Cell, CellKind, Library, GENERIC
+from repro.utils.errors import NetlistError
+from repro.utils.naming import NameScope
+
+
+@dataclass
+class Net:
+    """A single-bit wire.
+
+    Attributes:
+        name: unique net name within the netlist.
+        driver: ``(instance, pin)`` pair driving the net, or ``None`` while
+            undriven.  Input ports drive their net with driver ``None`` but
+            ``is_input_port`` set.
+        sinks: list of ``(instance, pin)`` input connections.
+        is_input_port / is_output_port: port flags (a net may be both a
+            port and internally loaded).
+    """
+
+    name: str
+    driver: tuple["Instance", str] | None = None
+    sinks: list[tuple["Instance", str]] = field(default_factory=list)
+    is_input_port: bool = False
+    is_output_port: bool = False
+
+    @property
+    def fanout(self) -> int:
+        """Number of input pins loaded by this net (output ports add one)."""
+        return len(self.sinks) + (1 if self.is_output_port else 0)
+
+    def driver_instance(self) -> "Instance | None":
+        return self.driver[0] if self.driver else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Net({self.name!r})"
+
+
+@dataclass
+class Instance:
+    """An instantiated library cell.
+
+    Attributes:
+        name: unique instance name.
+        cell: the library :class:`Cell`.
+        pins: mapping pin name -> connected :class:`Net`.
+        init: power-up output value for sequential cells and C-elements.
+    """
+
+    name: str
+    cell: Cell
+    pins: dict[str, Net] = field(default_factory=dict)
+    init: int = 0
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell.kind in (CellKind.DFF, CellKind.LATCH_HIGH,
+                                  CellKind.LATCH_LOW)
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.cell.kind in (CellKind.COMB, CellKind.TIE)
+
+    @property
+    def is_celement(self) -> bool:
+        """True for state-holding handshake cells (C-elements and the
+        asymmetric token cells)."""
+        return self.cell.kind in (CellKind.CELEMENT, CellKind.ACK,
+                                  CellKind.REQ, CellKind.ASYM)
+
+    def input_nets(self) -> list[Net]:
+        return [self.pins[p] for p in self.cell.inputs if p in self.pins]
+
+    def output_net(self) -> Net:
+        try:
+            return self.pins[self.cell.output]
+        except KeyError:
+            raise NetlistError(
+                f"instance {self.name} has no connected output") from None
+
+    def data_net(self) -> Net:
+        """The D input net of a sequential instance."""
+        from repro.netlist.cells import PIN_D
+        return self.pins[PIN_D]
+
+    def clock_net(self) -> Net:
+        """The clock/enable net of a sequential instance."""
+        if self.cell.clock_pin is None:
+            raise NetlistError(f"instance {self.name} has no clock pin")
+        return self.pins[self.cell.clock_pin]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance({self.name!r}:{self.cell.name})"
+
+
+class Netlist:
+    """A flat gate-level netlist plus its builder API."""
+
+    def __init__(self, name: str, library: Library | None = None):
+        self.name = name
+        self.library = library if library is not None else GENERIC
+        self.nets: dict[str, Net] = {}
+        self.instances: dict[str, Instance] = {}
+        self.inputs: list[str] = []      # ordered input port names
+        self.outputs: list[str] = []     # ordered output port names
+        self.clock: str | None = None    # name of the clock input, if any
+        self._net_scope = NameScope()
+        self._inst_scope = NameScope()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def net(self, name: str) -> Net:
+        """Return the net called ``name``, creating it if needed."""
+        existing = self.nets.get(name)
+        if existing is not None:
+            return existing
+        created = Net(name)
+        self.nets[name] = created
+        self._net_scope.reserve(name)
+        return created
+
+    def new_net(self, base: str) -> Net:
+        """Create a fresh net with a unique name derived from ``base``."""
+        return self.net(self._net_scope.unique(base))
+
+    def add_input(self, name: str, clock: bool = False) -> Net:
+        """Declare an input port (and its net)."""
+        net = self.net(name)
+        if net.is_input_port:
+            raise NetlistError(f"duplicate input port {name}")
+        if net.driver is not None:
+            raise NetlistError(f"input port {name} conflicts with a driven net")
+        net.is_input_port = True
+        self.inputs.append(name)
+        if clock:
+            self.clock = name
+        return net
+
+    def add_output(self, name: str) -> Net:
+        """Declare an output port on the net called ``name``."""
+        net = self.net(name)
+        if net.is_output_port:
+            raise NetlistError(f"duplicate output port {name}")
+        net.is_output_port = True
+        self.outputs.append(name)
+        return net
+
+    def add(self, cell: str | Cell, name: str | None = None,
+            init: int = 0, **connections: Net | str) -> Instance:
+        """Instantiate ``cell`` with pin connections given as keywords.
+
+        Connection values may be :class:`Net` objects or net names (created
+        on demand).  Returns the new :class:`Instance`.
+        """
+        cell_obj = self.library[cell] if isinstance(cell, str) else cell
+        inst_name = self._inst_scope.unique(
+            name if name is not None else f"u_{cell_obj.name.lower()}")
+        if name is not None and inst_name != name:
+            raise NetlistError(f"duplicate instance name {name}")
+        inst = Instance(inst_name, cell_obj, init=init)
+        self.instances[inst_name] = inst
+        for pin, target in connections.items():
+            self.connect(inst, pin, target)
+        return inst
+
+    def connect(self, inst: Instance, pin: str, target: Net | str) -> Net:
+        """Connect ``pin`` of ``inst`` to ``target`` (net or net name)."""
+        if pin not in inst.cell.pins:
+            raise NetlistError(
+                f"cell {inst.cell.name} has no pin {pin!r} "
+                f"(pins: {', '.join(inst.cell.pins)})")
+        if pin in inst.pins:
+            raise NetlistError(f"pin {inst.name}.{pin} already connected")
+        net = self.net(target) if isinstance(target, str) else target
+        if net.name not in self.nets:
+            raise NetlistError(f"net {net.name} does not belong to {self.name}")
+        if pin == inst.cell.output:
+            if net.driver is not None:
+                other = net.driver[0].name
+                raise NetlistError(
+                    f"net {net.name} already driven by {other}; "
+                    f"cannot also drive from {inst.name}")
+            if net.is_input_port:
+                raise NetlistError(
+                    f"net {net.name} is an input port; cannot drive it")
+            net.driver = (inst, pin)
+        else:
+            net.sinks.append((inst, pin))
+        inst.pins[pin] = net
+        return net
+
+    def add_gate(self, cell: str | Cell, inputs: Sequence[Net | str],
+                 output: Net | str | None = None,
+                 name: str | None = None) -> Net:
+        """Convenience: instantiate a combinational cell positionally.
+
+        ``inputs`` are connected to the cell's input pins in order; the
+        output net is created if not given.  Returns the output net.
+        """
+        cell_obj = self.library[cell] if isinstance(cell, str) else cell
+        if len(inputs) != cell_obj.n_inputs:
+            raise NetlistError(
+                f"cell {cell_obj.name} needs {cell_obj.n_inputs} inputs, "
+                f"got {len(inputs)}")
+        if output is None:
+            base = name if name is not None else f"n_{cell_obj.name.lower()}"
+            output = self.new_net(base)
+        connections: dict[str, Net | str] = {
+            pin: net for pin, net in zip(cell_obj.inputs, inputs)}
+        connections[cell_obj.output] = output
+        inst = self.add(cell_obj, name=name, **connections)
+        return inst.output_net()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def comb_instances(self) -> list[Instance]:
+        return [i for i in self.instances.values() if i.is_combinational]
+
+    def seq_instances(self) -> list[Instance]:
+        return [i for i in self.instances.values() if i.is_sequential]
+
+    def celement_instances(self) -> list[Instance]:
+        return [i for i in self.instances.values() if i.is_celement]
+
+    def dff_instances(self) -> list[Instance]:
+        return [i for i in self.instances.values()
+                if i.cell.kind is CellKind.DFF]
+
+    def latch_instances(self) -> list[Instance]:
+        return [i for i in self.instances.values()
+                if i.cell.kind in (CellKind.LATCH_HIGH, CellKind.LATCH_LOW)]
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`NetlistError` on failure."""
+        for net in self.nets.values():
+            if net.driver is None and not net.is_input_port:
+                if net.fanout:
+                    raise NetlistError(f"net {net.name} has sinks but no driver")
+        for inst in self.instances.values():
+            for pin in inst.cell.pins:
+                if pin not in inst.pins:
+                    raise NetlistError(
+                        f"pin {inst.name}.{pin} ({inst.cell.name}) unconnected")
+        # Combinational cycles are an error; cycles through C-elements are
+        # legitimate (handshake controllers are feedback structures).
+        self.topo_order_comb_only()
+
+    def topo_order(self) -> list[Instance]:
+        """Topological order of combinational and C-element instances.
+
+        Sequential outputs and ports act as sources.  Raises
+        :class:`NetlistError` if the combinational logic contains a cycle
+        (C-elements count as combinational here because their output
+        feeds forward; controller feedback loops go through named cut
+        nets only in the event simulator, so flows that build controller
+        loops must tolerate this by excluding C-elements — see
+        :meth:`topo_order_comb_only`).
+        """
+        return self._topo(include_celements=True)
+
+    def topo_order_comb_only(self) -> list[Instance]:
+        """Topological order of purely combinational instances."""
+        return self._topo(include_celements=False)
+
+    def _topo(self, include_celements: bool) -> list[Instance]:
+        members = {
+            inst.name: inst for inst in self.instances.values()
+            if inst.is_combinational or (include_celements and inst.is_celement)
+        }
+        indegree: dict[str, int] = {name: 0 for name in members}
+        dependents: dict[str, list[str]] = {name: [] for name in members}
+        for inst in members.values():
+            for net in inst.input_nets():
+                drv = net.driver_instance()
+                if drv is not None and drv.name in members:
+                    indegree[inst.name] += 1
+                    dependents[drv.name].append(inst.name)
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: list[Instance] = []
+        queue = list(reversed(ready))
+        while queue:
+            name = queue.pop()
+            order.append(members[name])
+            for dep in dependents[name]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    queue.append(dep)
+        if len(order) != len(members):
+            remaining = sorted(set(members) - {i.name for i in order})
+            raise NetlistError(
+                "combinational cycle involving: " + ", ".join(remaining[:10]))
+        return order
+
+    def fanin_cone(self, net: Net) -> set[str]:
+        """Names of combinational instances in the transitive fanin of ``net``."""
+        cone: set[str] = set()
+        stack = [net]
+        while stack:
+            current = stack.pop()
+            drv = current.driver_instance()
+            if drv is None or not (drv.is_combinational or drv.is_celement):
+                continue
+            if drv.name in cone:
+                continue
+            cone.add(drv.name)
+            stack.extend(drv.input_nets())
+        return cone
+
+    def total_area(self) -> float:
+        """Sum of instance areas in um^2."""
+        return sum(inst.cell.area for inst in self.instances.values())
+
+    def counts_by_kind(self) -> dict[CellKind, int]:
+        counts: dict[CellKind, int] = {}
+        for inst in self.instances.values():
+            counts[inst.cell.kind] = counts.get(inst.cell.kind, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Netlist({self.name!r}, {len(self.instances)} instances, "
+                f"{len(self.nets)} nets)")
+
+
+def clone(netlist: Netlist, name: str | None = None) -> Netlist:
+    """Deep-copy a netlist (fresh Net/Instance objects, same Library)."""
+    copy = Netlist(name if name is not None else netlist.name,
+                   netlist.library)
+    for port in netlist.inputs:
+        copy.add_input(port, clock=(port == netlist.clock))
+    for inst in netlist.instances.values():
+        copy.add(inst.cell, name=inst.name, init=inst.init,
+                 **{pin: net.name for pin, net in inst.pins.items()})
+    for port in netlist.outputs:
+        copy.add_output(port)
+    return copy
+
+
+def iter_register_banks(netlist: Netlist) -> Iterator[tuple[str, list[Instance]]]:
+    """Group sequential instances into banks by name prefix.
+
+    Instances named ``bank/bit[i]`` (or any ``prefix/suffix``) group under
+    ``prefix``; unprefixed registers form singleton banks.  Banks are the
+    unit that shares one local-clock controller after de-synchronization.
+    """
+    banks: dict[str, list[Instance]] = {}
+    for inst in netlist.seq_instances():
+        prefix = inst.name.rsplit("/", 1)[0] if "/" in inst.name else inst.name
+        banks.setdefault(prefix, []).append(inst)
+    for bank_name in sorted(banks):
+        yield bank_name, banks[bank_name]

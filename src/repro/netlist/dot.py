@@ -1,0 +1,60 @@
+"""Graphviz DOT export of netlists (for documentation and debugging)."""
+
+from __future__ import annotations
+
+from repro.netlist.cells import CellKind
+from repro.netlist.core import Netlist
+
+_SHAPES = {
+    CellKind.COMB: "box",
+    CellKind.TIE: "plaintext",
+    CellKind.DFF: "box3d",
+    CellKind.LATCH_HIGH: "component",
+    CellKind.LATCH_LOW: "component",
+    CellKind.CELEMENT: "ellipse",
+}
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r'\"') + '"'
+
+
+def netlist_to_dot(netlist: Netlist, max_instances: int = 2000) -> str:
+    """Render ``netlist`` as a DOT digraph string.
+
+    Large netlists are truncated at ``max_instances`` instances to keep
+    the output renderable; a comment records the truncation.
+    """
+    lines = [f"digraph {_quote(netlist.name)} {{", "  rankdir=LR;"]
+    for port in netlist.inputs:
+        lines.append(f"  {_quote('in:' + port)} [shape=triangle, label={_quote(port)}];")
+    for port in netlist.outputs:
+        lines.append(f"  {_quote('out:' + port)} "
+                     f"[shape=invtriangle, label={_quote(port)}];")
+    instances = list(netlist.instances.values())
+    truncated = len(instances) > max_instances
+    for inst in instances[:max_instances]:
+        shape = _SHAPES.get(inst.cell.kind, "box")
+        label = f"{inst.name}\\n{inst.cell.name}"
+        lines.append(f"  {_quote(inst.name)} [shape={shape}, label={_quote(label)}];")
+    shown = {inst.name for inst in instances[:max_instances]}
+    for net in netlist.nets.values():
+        source = None
+        if net.driver is not None:
+            if net.driver[0].name in shown:
+                source = _quote(net.driver[0].name)
+        elif net.is_input_port:
+            source = _quote("in:" + net.name)
+        if source is None:
+            continue
+        for sink, pin in net.sinks:
+            if sink.name in shown:
+                lines.append(f"  {source} -> {_quote(sink.name)} "
+                             f"[label={_quote(net.name + '>' + pin)}, fontsize=8];")
+        if net.is_output_port:
+            lines.append(f"  {source} -> {_quote('out:' + net.name)};")
+    if truncated:
+        lines.append(f"  // truncated: {len(instances) - max_instances} "
+                     "instances not shown")
+    lines.append("}")
+    return "\n".join(lines)

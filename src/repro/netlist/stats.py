@@ -1,0 +1,79 @@
+"""Netlist statistics: gate counts, area breakdown, sequential census."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import CellKind
+from repro.netlist.core import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Summary statistics of one netlist.
+
+    Areas are in um^2, matching the paper's Table 1 units.
+    """
+
+    name: str
+    n_instances: int
+    n_nets: int
+    n_comb: int
+    n_dff: int
+    n_latch: int
+    n_celement: int
+    comb_area: float
+    seq_area: float
+    async_area: float
+    total_area: float
+    cell_histogram: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"netlist {self.name}:",
+            f"  instances      {self.n_instances}",
+            f"  nets           {self.n_nets}",
+            f"  combinational  {self.n_comb}  ({self.comb_area:,.0f} um^2)",
+            f"  flip-flops     {self.n_dff}",
+            f"  latches        {self.n_latch}",
+            f"  C-elements     {self.n_celement}",
+            f"  sequential area {self.seq_area:,.0f} um^2",
+            f"  total area     {self.total_area:,.0f} um^2",
+        ]
+        return "\n".join(lines)
+
+
+def collect_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for ``netlist``."""
+    histogram: dict[str, int] = {}
+    comb_area = seq_area = async_area = 0.0
+    n_comb = n_dff = n_latch = n_cel = 0
+    for inst in netlist.instances.values():
+        histogram[inst.cell.name] = histogram.get(inst.cell.name, 0) + 1
+        kind = inst.cell.kind
+        if kind in (CellKind.COMB, CellKind.TIE):
+            n_comb += 1
+            comb_area += inst.cell.area
+        elif kind is CellKind.DFF:
+            n_dff += 1
+            seq_area += inst.cell.area
+        elif kind in (CellKind.LATCH_HIGH, CellKind.LATCH_LOW):
+            n_latch += 1
+            seq_area += inst.cell.area
+        elif kind is CellKind.CELEMENT:
+            n_cel += 1
+            async_area += inst.cell.area
+    return NetlistStats(
+        name=netlist.name,
+        n_instances=len(netlist.instances),
+        n_nets=len(netlist.nets),
+        n_comb=n_comb,
+        n_dff=n_dff,
+        n_latch=n_latch,
+        n_celement=n_cel,
+        comb_area=comb_area,
+        seq_area=seq_area,
+        async_area=async_area,
+        total_area=netlist.total_area(),
+        cell_histogram=histogram,
+    )

@@ -1,0 +1,186 @@
+"""Marked graphs: the Petri net subclass underlying de-synchronization.
+
+A marked graph (MG) is a Petri net in which every place has exactly one
+producing and one consuming transition — concurrency without choice.  The
+paper's de-synchronization model (Figures 2-4) is a marked graph whose
+transitions are latch-control events (``x+`` = latch x becomes transparent,
+``x-`` = latch x closes).
+
+Because each place connects exactly one pair of transitions, an MG is
+equivalently a directed multigraph whose *edges* carry tokens; all the
+classic results used here come from that view:
+
+* **liveness**: an MG is live iff every directed cycle carries >= 1 token
+  (equivalently: the token-free subgraph is acyclic) [Commoner et al. 1971];
+* **safety** (1-boundedness): a live MG marking is safe iff every edge lies
+  on some cycle with token count exactly 1;
+* **cycle time**: with transition delays, the steady-state cycle time is
+  the maximum cycle ratio max_C sum(delay)/sum(tokens) — computed in
+  :mod:`repro.petri.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.petri.net import PetriNet
+from repro.utils.errors import NotAMarkedGraphError, PetriError
+
+
+@dataclass(frozen=True)
+class MgEdge:
+    """One marked-graph edge (a place between two transitions).
+
+    Attributes:
+        place: underlying place name.
+        source: producing transition name.
+        target: consuming transition name.
+        tokens: initial token count.
+        delay: extra propagation delay in ps carried by this edge, on top
+            of the target transition's own delay (used for matched delays).
+    """
+
+    place: str
+    source: str
+    target: str
+    tokens: int
+    delay: float = 0.0
+
+
+class MarkedGraph(PetriNet):
+    """A Petri net restricted to marked-graph structure.
+
+    Use :meth:`connect` to build edges place-free (a place is created
+    automatically per edge); :meth:`check_structure` validates nets built
+    through the raw :class:`PetriNet` API.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._edge_delays: dict[str, float] = {}
+        self._edge_counter = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def connect(self, source: str, target: str, tokens: int = 0,
+                delay: float = 0.0, place: str | None = None) -> MgEdge:
+        """Add an edge ``source -> target`` between two transitions."""
+        for transition in (source, target):
+            if transition not in self.transitions:
+                raise PetriError(f"unknown transition {transition}")
+        if place is None:
+            place = f"p{self._edge_counter}:{source}->{target}"
+            self._edge_counter += 1
+        self.add_place(place, tokens)
+        self.add_arc(place, target)
+        self.add_arc(source, place)
+        if delay:
+            self._edge_delays[place] = delay
+        return MgEdge(place, source, target, tokens, delay)
+
+    def edge_delay(self, place: str) -> float:
+        return self._edge_delays.get(place, 0.0)
+
+    def set_edge_delay(self, place: str, delay: float) -> None:
+        if place not in self.places:
+            raise PetriError(f"unknown place {place}")
+        self._edge_delays[place] = delay
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def check_structure(self) -> None:
+        """Raise :class:`NotAMarkedGraphError` unless every place has
+        exactly one producer and one consumer."""
+        for place in self.places:
+            n_pre = len(self.place_pre[place])
+            n_post = len(self.place_post[place])
+            if n_pre != 1 or n_post != 1:
+                raise NotAMarkedGraphError(
+                    f"place {place} has {n_pre} producers and "
+                    f"{n_post} consumers (each must be exactly 1)")
+
+    def edges(self) -> list[MgEdge]:
+        """All edges of the graph view."""
+        self.check_structure()
+        result = []
+        for place in self.places:
+            source = self.place_pre[place][0]
+            target = self.place_post[place][0]
+            result.append(MgEdge(place, source, target,
+                                 self.initial_marking.get(place, 0),
+                                 self.edge_delay(place)))
+        return result
+
+    def successors(self, transition: str) -> list[str]:
+        return [self.place_post[p][0] for p in self.post[transition]]
+
+    def predecessors(self, transition: str) -> list[str]:
+        return [self.place_pre[p][0] for p in self.pre[transition]]
+
+    # ------------------------------------------------------------------
+    # classic marked-graph properties
+    # ------------------------------------------------------------------
+    def is_live(self) -> bool:
+        """True iff every directed cycle carries at least one token.
+
+        Checked as: the subgraph of token-free edges is acyclic (Commoner's
+        theorem for marked graphs).
+        """
+        self.check_structure()
+        adjacency: dict[str, list[str]] = {t: [] for t in self.transitions}
+        for edge in self.edges():
+            if edge.tokens == 0:
+                adjacency[edge.source].append(edge.target)
+        # Kahn's algorithm on the token-free subgraph.
+        indegree = {t: 0 for t in self.transitions}
+        for source, targets in adjacency.items():
+            for target in targets:
+                indegree[target] += 1
+        queue = [t for t, deg in indegree.items() if deg == 0]
+        visited = 0
+        while queue:
+            node = queue.pop()
+            visited += 1
+            for target in adjacency[node]:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    queue.append(target)
+        return visited == len(self.transitions)
+
+    def is_safe(self, max_states: int = 100_000) -> bool:
+        """True iff no reachable marking exceeds one token per place."""
+        return self.is_bounded(bound=1, max_states=max_states)
+
+    def token_count_invariant(self) -> dict[frozenset[str], int]:
+        """Token counts of the simple cycles through each transition pair.
+
+        For marked graphs, firing preserves the token count of every
+        directed cycle; this helper returns the counts of all simple
+        cycles (for tests on small graphs).
+        """
+        cycles = self.simple_cycles()
+        return {frozenset(cycle): self._cycle_tokens(cycle)
+                for cycle in cycles}
+
+    def simple_cycles(self) -> list[tuple[str, ...]]:
+        """All simple cycles (as transition tuples).  Small graphs only."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(self.transitions)
+        for edge in self.edges():
+            graph.add_edge(edge.source, edge.target)
+        return [tuple(cycle) for cycle in nx.simple_cycles(graph)]
+
+    def _cycle_tokens(self, cycle: tuple[str, ...]) -> int:
+        total = 0
+        for i, source in enumerate(cycle):
+            target = cycle[(i + 1) % len(cycle)]
+            candidates = [
+                self.initial_marking.get(p, 0)
+                for p in self.post[source] if self.place_post[p][0] == target
+            ]
+            total += min(candidates) if candidates else 0
+        return total

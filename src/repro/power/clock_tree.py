@@ -1,0 +1,81 @@
+"""Analytic H-tree clock distribution model.
+
+The synchronous design's clock network — the thing de-synchronization
+removes — is estimated with a standard H-tree: buffers fan out in powers
+of four toward leaf drivers, each leaf driving a bounded number of
+sequential clock pins; total wire length follows the classic H-tree
+recursion over the die (die edge halves per level), with a per-micron
+wire capacitance.  The model yields the three quantities the comparison
+needs: added buffer **area**, switched **capacitance per cycle** (hence
+clock power), and a skew-margin rationale for the synchronous period.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netlist.cells import Library
+
+LEAF_FANOUT = 16          # clock pins per leaf buffer
+WIRE_CAP_PER_UM = 0.16    # fF/um, representative for a mid metal layer
+
+
+@dataclass(frozen=True)
+class ClockTreeModel:
+    """An H-tree sized for one design.
+
+    Attributes:
+        n_sinks: sequential clock pins served.
+        n_buffers: total tree buffers.
+        levels: H-tree depth.
+        wire_length_um: total tree wire length.
+        total_cap_ff: switched capacitance (sinks + wire + buffer inputs).
+        area_um2: buffer area added to the design.
+        energy_per_cycle_fj: C * V^2 (two rail-to-rail transitions).
+    """
+
+    n_sinks: int
+    n_buffers: int
+    levels: int
+    wire_length_um: float
+    total_cap_ff: float
+    area_um2: float
+    energy_per_cycle_fj: float
+
+    def power_mw(self, period_ps: float) -> float:
+        """Clock power at the given period (fJ/ps == mW)."""
+        return self.energy_per_cycle_fj / period_ps
+
+
+def build_clock_tree(n_sinks: int, sink_cap_ff: float,
+                     die_area_um2: float, library: Library) -> ClockTreeModel:
+    """Size an H-tree for ``n_sinks`` clock pins on a square die."""
+    if n_sinks <= 0:
+        raise ValueError("a clock tree needs at least one sink")
+    n_leaves = max(1, math.ceil(n_sinks / LEAF_FANOUT))
+    levels = max(1, math.ceil(math.log(n_leaves, 4)))
+    # Buffers: leaves plus the 4-ary tree above them (sum of powers of 4).
+    n_buffers = sum(4 ** level for level in range(levels + 1))
+    # H-tree wire: at level i (from the root), 2^i segments of length
+    # edge / 2^(i/2 + 1); summed over 2*levels binary splits.
+    edge = math.sqrt(max(die_area_um2, 1.0))
+    wire = 0.0
+    for split in range(2 * levels):
+        segments = 2 ** split
+        length = edge / (2 ** (split / 2 + 1))
+        wire += segments * length
+    buffer_cell = library["BUF"]
+    total_cap = (n_sinks * sink_cap_ff
+                 + wire * WIRE_CAP_PER_UM
+                 + n_buffers * buffer_cell.input_cap)
+    energy = total_cap * library.voltage ** 2
+    return ClockTreeModel(
+        n_sinks=n_sinks,
+        n_buffers=n_buffers,
+        levels=levels,
+        wire_length_um=wire,
+        total_cap_ff=total_cap,
+        area_um2=n_buffers * buffer_cell.area,
+        energy_per_cycle_fj=energy,
+    )

@@ -1,0 +1,5 @@
+"""Reporting helpers (text tables, CSV series)."""
+
+from repro.report.table import TextTable, write_csv
+
+__all__ = ["TextTable", "write_csv"]

@@ -1,0 +1,50 @@
+"""Paper-style text tables and CSV series for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TextTable:
+    """A simple aligned text table (paper-style rows)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def write_csv(path: str, columns: list[str],
+              rows: list[list[object]]) -> None:
+    """Write a figure data series as CSV (creating directories)."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(",".join(columns) + "\n")
+        for row in rows:
+            handle.write(",".join(str(cell) for cell in row) + "\n")

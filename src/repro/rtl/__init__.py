@@ -1,0 +1,8 @@
+"""Word-level RTL construction and synthesis to gates."""
+
+from repro.rtl.lower import synthesize
+from repro.rtl.module import Register, RtlModule
+from repro.rtl.signal import Bus, const, mux, mux_many
+
+__all__ = ["synthesize", "Register", "RtlModule", "Bus", "const", "mux",
+           "mux_many"]

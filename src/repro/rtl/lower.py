@@ -1,0 +1,265 @@
+"""Lowering of word-level expressions to library gates.
+
+Technology mapping choices (plain, predictable structures):
+
+* add/sub: ripple-carry full adders (XOR/AND/OR) — also what gives the
+  DLX its paper-calibrated critical path;
+* eq: bitwise XNOR reduced by an AND tree;
+* unsigned compare: borrow of ``a + ~b + 1``; signed compare fixes up
+  the sign bits;
+* variable shifts: logarithmic barrel (MUX2 stages);
+* N:1 muxes: MUX2 trees (built at the expression level);
+* reductions: OR/AND trees.
+
+Every bit of a bus maps to one net; register banks become per-bit DFFs
+named ``<reg>/b<i>`` so the de-synchronization flow's register grouping
+(one bank per register) falls out of the naming convention.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import Library
+from repro.netlist.core import Net, Netlist
+from repro.rtl.module import RtlModule
+from repro.rtl.signal import Bus
+from repro.utils.errors import RtlError
+
+Bits = list[Net]
+
+
+class _Lowering:
+    def __init__(self, module: RtlModule, library: Library | None):
+        self.module = module
+        self.netlist = Netlist(module.name, library)
+        self.cache: dict[int, Bits] = {}
+        self._const_nets: dict[int, Net] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> Netlist:
+        netlist = self.netlist
+        netlist.add_input(self.module.clock, clock=True)
+        for name, bus in self.module.inputs.items():
+            for i in range(bus.width):
+                netlist.add_input(f"{name}[{i}]")
+        # Declare register outputs before lowering (feedback loops).
+        for register in self.module.registers.values():
+            for i in range(register.width):
+                netlist.net(f"{register.name}_q[{i}]")
+        for register in self.module.registers.values():
+            next_bits = self.lower(register.next)
+            for i in range(register.width):
+                netlist.add("DFF", name=f"{register.name}/b{i}",
+                            init=(register.init >> i) & 1,
+                            D=next_bits[i],
+                            CK=netlist.net(self.module.clock),
+                            Q=f"{register.name}_q[{i}]")
+        for name, bus in self.module.outputs.items():
+            bits = self.lower(bus)
+            for i, bit in enumerate(bits):
+                port = netlist.net(f"{name}[{i}]")
+                netlist.add_gate("BUF", [bit], output=port,
+                                 name=f"out:{name}/b{i}")
+                netlist.add_output(port.name)
+        netlist.validate()
+        return netlist
+
+    # ------------------------------------------------------------------
+    def lower(self, bus: Bus) -> Bits:
+        cached = self.cache.get(bus.uid)
+        if cached is not None:
+            return cached
+        handler = getattr(self, f"_op_{bus.op}", None)
+        if handler is None:
+            raise RtlError(f"no lowering for op {bus.op!r}")
+        bits = handler(bus)
+        if len(bits) != bus.width:
+            raise RtlError(f"lowering bug: {bus.op} produced {len(bits)} "
+                           f"bits, expected {bus.width}")
+        self.cache[bus.uid] = bits
+        return bits
+
+    # -- leaves ---------------------------------------------------------
+    def _const_bit(self, value: int) -> Net:
+        existing = self._const_nets.get(value)
+        if existing is not None:
+            return existing
+        cell = "TIE1" if value else "TIE0"
+        net = self.netlist.add_gate(cell, [], name=f"const{value}")
+        self._const_nets[value] = net
+        return net
+
+    def _op_const(self, bus: Bus) -> Bits:
+        return [self._const_bit((bus.meta >> i) & 1)
+                for i in range(bus.width)]
+
+    def _op_input(self, bus: Bus) -> Bits:
+        return [self.netlist.net(f"{bus.meta}[{i}]")
+                for i in range(bus.width)]
+
+    def _op_reg(self, bus: Bus) -> Bits:
+        register = bus.meta
+        return [self.netlist.net(f"{register.name}_q[{i}]")
+                for i in range(register.width)]
+
+    # -- bitwise --------------------------------------------------------
+    def _bitwise(self, bus: Bus, cell: str) -> Bits:
+        left = self.lower(bus.args[0])
+        right = self.lower(bus.args[1])
+        return [self.netlist.add_gate(cell, [left[i], right[i]])
+                for i in range(bus.width)]
+
+    def _op_and(self, bus: Bus) -> Bits:
+        return self._bitwise(bus, "AND2")
+
+    def _op_or(self, bus: Bus) -> Bits:
+        return self._bitwise(bus, "OR2")
+
+    def _op_xor(self, bus: Bus) -> Bits:
+        return self._bitwise(bus, "XOR2")
+
+    def _op_not(self, bus: Bus) -> Bits:
+        source = self.lower(bus.args[0])
+        return [self.netlist.add_gate("INV", [bit]) for bit in source]
+
+    # -- structure ------------------------------------------------------
+    def _op_slice(self, bus: Bus) -> Bits:
+        start, stop = bus.meta
+        return self.lower(bus.args[0])[start:stop]
+
+    def _op_concat(self, bus: Bus) -> Bits:
+        low = self.lower(bus.args[0])
+        high = self.lower(bus.args[1])
+        return low + high
+
+    def _op_sext(self, bus: Bus) -> Bits:
+        source = self.lower(bus.args[0])
+        sign = self.lower(bus.args[1])[0]
+        return source + [sign] * (bus.width - len(source))
+
+    def _op_repeat(self, bus: Bus) -> Bits:
+        bit = self.lower(bus.args[0])[0]
+        return [bit] * bus.width
+
+    def _op_mux(self, bus: Bus) -> Bits:
+        select = self.lower(bus.args[0])[0]
+        if_one = self.lower(bus.args[1])
+        if_zero = self.lower(bus.args[2])
+        return [self.netlist.add_gate("MUX2", [if_zero[i], if_one[i], select])
+                for i in range(bus.width)]
+
+    # -- arithmetic ------------------------------------------------------
+    def _full_adder(self, a: Net, b: Net, carry: Net) -> tuple[Net, Net]:
+        half = self.netlist.add_gate("XOR2", [a, b])
+        total = self.netlist.add_gate("XOR2", [half, carry])
+        carry_a = self.netlist.add_gate("AND2", [a, b])
+        carry_b = self.netlist.add_gate("AND2", [half, carry])
+        carry_out = self.netlist.add_gate("OR2", [carry_a, carry_b])
+        return total, carry_out
+
+    def _ripple(self, left: Bits, right: Bits, carry_in: Net,
+                ) -> tuple[Bits, Net]:
+        bits: Bits = []
+        carry = carry_in
+        for a, b in zip(left, right):
+            total, carry = self._full_adder(a, b, carry)
+            bits.append(total)
+        return bits, carry
+
+    def _op_add(self, bus: Bus) -> Bits:
+        left = self.lower(bus.args[0])
+        right = self.lower(bus.args[1])
+        bits, _ = self._ripple(left, right, self._const_bit(0))
+        return bits
+
+    def _op_sub(self, bus: Bus) -> Bits:
+        left = self.lower(bus.args[0])
+        right = [self.netlist.add_gate("INV", [bit])
+                 for bit in self.lower(bus.args[1])]
+        bits, _ = self._ripple(left, right, self._const_bit(1))
+        return bits
+
+    def _borrow(self, left: Bits, right_bits: Bits) -> Net:
+        """NOT carry-out of ``left + ~right + 1`` (unsigned less-than)."""
+        inverted = [self.netlist.add_gate("INV", [bit])
+                    for bit in right_bits]
+        _, carry = self._ripple(left, inverted, self._const_bit(1))
+        return self.netlist.add_gate("INV", [carry])
+
+    def _op_ltu(self, bus: Bus) -> Bits:
+        return [self._borrow(self.lower(bus.args[0]),
+                             self.lower(bus.args[1]))]
+
+    def _op_lts(self, bus: Bus) -> Bits:
+        left = self.lower(bus.args[0])
+        right = self.lower(bus.args[1])
+        sign_a, sign_b = left[-1], right[-1]
+        borrow = self._borrow(left, right)
+        signs_differ = self.netlist.add_gate("XOR2", [sign_a, sign_b])
+        # If signs differ, a < b iff a is negative; else use the borrow.
+        return [self.netlist.add_gate("MUX2", [borrow, sign_a, signs_differ])]
+
+    def _op_eq(self, bus: Bus) -> Bits:
+        left = self.lower(bus.args[0])
+        right = self.lower(bus.args[1])
+        equal_bits = [self.netlist.add_gate("XNOR2", [a, b])
+                      for a, b in zip(left, right)]
+        return [self._tree(equal_bits, "AND2")]
+
+    # -- shifts -----------------------------------------------------------
+    def _op_shl(self, bus: Bus) -> Bits:
+        return self._shift(bus, left=True, arith=False)
+
+    def _op_shr(self, bus: Bus) -> Bits:
+        return self._shift(bus, left=False, arith=False)
+
+    def _op_sra(self, bus: Bus) -> Bits:
+        return self._shift(bus, left=False, arith=True)
+
+    def _shift(self, bus: Bus, left: bool, arith: bool) -> Bits:
+        source = self.lower(bus.args[0])
+        fill = source[-1] if arith else self._const_bit(0)
+        if bus.meta is not None:  # constant amount
+            return self._shift_const(source, bus.meta, left, fill)
+        amount = self.lower(bus.args[1])
+        current = source
+        for stage, sel in enumerate(amount):
+            if (1 << stage) >= len(source) * 2:
+                break
+            shifted = self._shift_const(current, 1 << stage, left, fill)
+            current = [self.netlist.add_gate("MUX2",
+                                             [current[i], shifted[i], sel])
+                       for i in range(len(current))]
+        return current
+
+    def _shift_const(self, bits: Bits, amount: int, left: bool,
+                     fill: Net) -> Bits:
+        width = len(bits)
+        if amount >= width:
+            return [fill] * width
+        if left:
+            return [fill] * amount + bits[:width - amount]
+        return bits[amount:] + [fill] * amount
+
+    # -- reductions -------------------------------------------------------
+    def _tree(self, bits: Bits, cell: str) -> Net:
+        current = list(bits)
+        while len(current) > 1:
+            next_level = []
+            for i in range(0, len(current) - 1, 2):
+                next_level.append(
+                    self.netlist.add_gate(cell, [current[i], current[i + 1]]))
+            if len(current) % 2:
+                next_level.append(current[-1])
+            current = next_level
+        return current[0]
+
+    def _op_reduce_or(self, bus: Bus) -> Bits:
+        return [self._tree(self.lower(bus.args[0]), "OR2")]
+
+    def _op_reduce_and(self, bus: Bus) -> Bits:
+        return [self._tree(self.lower(bus.args[0]), "AND2")]
+
+
+def synthesize(module: RtlModule, library: Library | None = None) -> Netlist:
+    """Lower ``module`` to a validated gate-level netlist."""
+    return _Lowering(module, library).run()

@@ -1,0 +1,80 @@
+"""RTL module container: inputs, registers, outputs, and synthesis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.core import Netlist
+from repro.rtl.signal import Bus, const
+from repro.utils.errors import RtlError
+
+
+@dataclass(eq=False)
+class Register:
+    """A register bank declaration.
+
+    ``bus`` is the register's current-value expression (its Q outputs);
+    assign the next-state expression to :attr:`next` before synthesis.
+    """
+
+    name: str
+    width: int
+    init: int
+    bus: Bus = field(init=False)
+    next: Bus | None = None
+
+    def __post_init__(self) -> None:
+        self.bus = Bus("reg", self.width, meta=self)
+
+
+class RtlModule:
+    """A synthesizable word-level module.
+
+    >>> m = RtlModule("inc")
+    >>> count = m.reg("count", 4)
+    >>> count.next = count.bus + m.constant(1, 4)
+    >>> m.output("value", count.bus)
+    >>> netlist = m.build()
+    """
+
+    def __init__(self, name: str, clock: str = "clk"):
+        self.name = name
+        self.clock = clock
+        self.inputs: dict[str, Bus] = {}
+        self.registers: dict[str, Register] = {}
+        self.outputs: dict[str, Bus] = {}
+
+    def input(self, name: str, width: int) -> Bus:
+        if name in self.inputs:
+            raise RtlError(f"duplicate input {name}")
+        bus = Bus("input", width, meta=name)
+        self.inputs[name] = bus
+        return bus
+
+    def constant(self, value: int, width: int) -> Bus:
+        return const(value, width)
+
+    def reg(self, name: str, width: int, init: int = 0) -> Register:
+        if name in self.registers:
+            raise RtlError(f"duplicate register {name}")
+        register = Register(name, width, init)
+        self.registers[name] = register
+        return register
+
+    def output(self, name: str, bus: Bus) -> None:
+        if name in self.outputs:
+            raise RtlError(f"duplicate output {name}")
+        self.outputs[name] = bus
+
+    def build(self, library=None) -> Netlist:
+        """Synthesize to a gate-level netlist (see :mod:`repro.rtl.lower`)."""
+        from repro.rtl.lower import synthesize
+        for register in self.registers.values():
+            if register.next is None:
+                raise RtlError(f"register {register.name} has no next-state "
+                               "expression")
+            if register.next.width != register.width:
+                raise RtlError(
+                    f"register {register.name}: next-state width "
+                    f"{register.next.width} != {register.width}")
+        return synthesize(self, library)

@@ -1,0 +1,211 @@
+"""Word-level signal expressions (the RTL construction language).
+
+A :class:`Bus` is an immutable width-annotated expression node; Python
+operators build an expression DAG which :mod:`repro.rtl.lower` maps onto
+library gates.  The paper's flow starts from a *synthesized* synchronous
+netlist; this small synthesis front-end plays the role of the commercial
+RTL synthesis producing that netlist (see DESIGN.md section 2).
+
+Conventions: all buses are little-endian bit vectors; arithmetic is
+two's-complement; comparisons return 1-bit buses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.errors import RtlError
+
+_COUNTER = [0]
+
+
+def _next_id() -> int:
+    _COUNTER[0] += 1
+    return _COUNTER[0]
+
+
+@dataclass(frozen=True, eq=False)
+class Bus:
+    """One expression node.
+
+    Attributes:
+        op: node kind (``input``, ``const``, ``reg``, ``not``, ``and``,
+            ``or``, ``xor``, ``mux``, ``add``, ``sub``, ``eq``, ``ltu``,
+            ``lts``, ``shl``, ``shr``, ``slice``, ``concat``,
+            ``reduce_or``, ``reduce_and``, ``sra``).
+        width: bit width of the value.
+        args: operand buses.
+        meta: op-specific payload (constant value, port name, slice
+            bounds...).
+    """
+
+    op: str
+    width: int
+    args: tuple["Bus", ...] = ()
+    meta: Any = None
+    uid: int = field(default_factory=_next_id)
+
+    # ------------------------------------------------------------------
+    # operator sugar
+    # ------------------------------------------------------------------
+    def _binary(self, other: "Bus", op: str) -> "Bus":
+        if not isinstance(other, Bus):
+            raise RtlError(f"{op}: operand must be a Bus, got {other!r}")
+        if other.width != self.width:
+            raise RtlError(f"{op}: width mismatch {self.width} vs "
+                           f"{other.width}")
+        return Bus(op, self.width, (self, other))
+
+    def __and__(self, other: "Bus") -> "Bus":
+        return self._binary(other, "and")
+
+    def __or__(self, other: "Bus") -> "Bus":
+        return self._binary(other, "or")
+
+    def __xor__(self, other: "Bus") -> "Bus":
+        return self._binary(other, "xor")
+
+    def __invert__(self) -> "Bus":
+        return Bus("not", self.width, (self,))
+
+    def __add__(self, other: "Bus") -> "Bus":
+        return self._binary(other, "add")
+
+    def __sub__(self, other: "Bus") -> "Bus":
+        return self._binary(other, "sub")
+
+    # ------------------------------------------------------------------
+    # comparisons (1-bit results)
+    # ------------------------------------------------------------------
+    def eq(self, other: "Bus") -> "Bus":
+        if other.width != self.width:
+            raise RtlError("eq: width mismatch")
+        return Bus("eq", 1, (self, other))
+
+    def ne(self, other: "Bus") -> "Bus":
+        return ~self.eq(other)
+
+    def lt_unsigned(self, other: "Bus") -> "Bus":
+        if other.width != self.width:
+            raise RtlError("ltu: width mismatch")
+        return Bus("ltu", 1, (self, other))
+
+    def lt_signed(self, other: "Bus") -> "Bus":
+        if other.width != self.width:
+            raise RtlError("lts: width mismatch")
+        return Bus("lts", 1, (self, other))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: int | slice) -> "Bus":
+        """Bit select or slice (``bus[3]``, ``bus[4:8]`` = bits 4..7)."""
+        if isinstance(index, int):
+            if not 0 <= index < self.width:
+                raise RtlError(f"bit {index} out of range 0..{self.width-1}")
+            return Bus("slice", 1, (self,), meta=(index, index + 1))
+        start = index.start or 0
+        stop = index.stop if index.stop is not None else self.width
+        if index.step not in (None, 1):
+            raise RtlError("slice step is not supported")
+        if not 0 <= start < stop <= self.width:
+            raise RtlError(f"slice [{start}:{stop}] out of range "
+                           f"(width {self.width})")
+        return Bus("slice", stop - start, (self,), meta=(start, stop))
+
+    def concat(self, high: "Bus") -> "Bus":
+        """``high.concat`` above self: result = {high, self}."""
+        return Bus("concat", self.width + high.width, (self, high))
+
+    def zero_extend(self, width: int) -> "Bus":
+        if width < self.width:
+            raise RtlError("zero_extend target narrower than source")
+        if width == self.width:
+            return self
+        return self.concat(Bus("const", width - self.width, meta=0))
+
+    def sign_extend(self, width: int) -> "Bus":
+        if width < self.width:
+            raise RtlError("sign_extend target narrower than source")
+        if width == self.width:
+            return self
+        sign = self[self.width - 1]
+        return Bus("sext", width, (self, sign))
+
+    def repeat_bit(self, width: int) -> "Bus":
+        """Replicate a 1-bit bus to ``width`` bits."""
+        if self.width != 1:
+            raise RtlError("repeat_bit needs a 1-bit bus")
+        return Bus("repeat", width, (self,))
+
+    # ------------------------------------------------------------------
+    # shifts
+    # ------------------------------------------------------------------
+    def shift_left(self, amount: "Bus | int") -> "Bus":
+        return self._shift(amount, "shl")
+
+    def shift_right(self, amount: "Bus | int") -> "Bus":
+        return self._shift(amount, "shr")
+
+    def shift_right_arith(self, amount: "Bus | int") -> "Bus":
+        return self._shift(amount, "sra")
+
+    def _shift(self, amount: "Bus | int", op: str) -> "Bus":
+        if isinstance(amount, int):
+            if amount < 0:
+                raise RtlError("negative shift")
+            return Bus(op, self.width, (self,), meta=amount)
+        return Bus(op, self.width, (self, amount), meta=None)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def reduce_or(self) -> "Bus":
+        return Bus("reduce_or", 1, (self,))
+
+    def reduce_and(self) -> "Bus":
+        return Bus("reduce_and", 1, (self,))
+
+    def is_zero(self) -> "Bus":
+        return ~self.reduce_or()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bus<{self.op}:{self.width}>"
+
+
+def const(value: int, width: int) -> Bus:
+    """A constant bus (two's-complement truncation to ``width`` bits)."""
+    if width <= 0:
+        raise RtlError("constant width must be positive")
+    return Bus("const", width, meta=value & ((1 << width) - 1))
+
+
+def mux(select: Bus, if_one: Bus, if_zero: Bus) -> Bus:
+    """2:1 word multiplexer: ``select ? if_one : if_zero``."""
+    if select.width != 1:
+        raise RtlError("mux select must be 1 bit")
+    if if_one.width != if_zero.width:
+        raise RtlError("mux: data width mismatch")
+    return Bus("mux", if_one.width, (select, if_one, if_zero))
+
+
+def mux_many(select: Bus, options: list[Bus]) -> Bus:
+    """N:1 multiplexer over ``options`` indexed by ``select``."""
+    if not options:
+        raise RtlError("mux_many needs at least one option")
+    width = options[0].width
+    for option in options:
+        if option.width != width:
+            raise RtlError("mux_many: data width mismatch")
+    padded = list(options)
+    size = 1 << select.width
+    while len(padded) < size:
+        padded.append(options[-1])
+    level = padded
+    for bit in range(select.width):
+        sel = select[bit]
+        level = [mux(sel, level[i + 1], level[i])
+                 if i + 1 < len(level) else level[i]
+                 for i in range(0, len(level), 2)]
+    return level[0]

@@ -1,0 +1,29 @@
+"""Logic simulation: event-driven, cycle-accurate, and waveforms."""
+
+from repro.sim.events import EventQueue
+from repro.sim.logic import Value, bits_to_int, int_to_bits, to_char
+from repro.sim.simulator import (
+    Capture,
+    EventSimulator,
+    SimStats,
+    settle_combinational,
+)
+from repro.sim.sync import CycleSimulator, LatchCycleSimulator
+from repro.sim.waves import WaveGroup, Waveform, overlap_intervals
+
+__all__ = [
+    "EventQueue",
+    "Value",
+    "bits_to_int",
+    "int_to_bits",
+    "to_char",
+    "Capture",
+    "EventSimulator",
+    "SimStats",
+    "settle_combinational",
+    "CycleSimulator",
+    "LatchCycleSimulator",
+    "WaveGroup",
+    "Waveform",
+    "overlap_intervals",
+]

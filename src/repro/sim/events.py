@@ -1,0 +1,36 @@
+"""A deterministic discrete-event queue.
+
+Events are ``(time, sequence, payload)`` triples in a binary heap; the
+monotonically increasing sequence number makes simultaneous events fire in
+insertion order, which keeps simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+
+class EventQueue:
+    """Time-ordered event queue with stable FIFO ordering for ties."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._sequence = 0
+
+    def push(self, time: float, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, self._sequence, payload))
+        self._sequence += 1
+
+    def pop(self) -> tuple[float, Any]:
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

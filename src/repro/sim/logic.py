@@ -1,0 +1,43 @@
+"""Three-valued logic helpers for simulation.
+
+Values are represented as ``1``, ``0`` and ``None`` (unknown / X).  The
+library cells evaluate X pessimistically through
+:meth:`repro.netlist.cells.Cell.eval_ternary`.
+"""
+
+from __future__ import annotations
+
+Value = int | None  # 0, 1 or None (X)
+
+
+def to_char(value: Value) -> str:
+    """Single-character display form of a logic value."""
+    if value is None:
+        return "X"
+    return "1" if value else "0"
+
+
+def is_rising(old: Value, new: Value) -> bool:
+    """True for a clean 0 -> 1 transition (X edges do not count)."""
+    return old == 0 and new == 1
+
+
+def is_falling(old: Value, new: Value) -> bool:
+    """True for a clean 1 -> 0 transition."""
+    return old == 1 and new == 0
+
+
+def bits_to_int(bits: list[Value]) -> int | None:
+    """Little-endian bit list to integer; ``None`` if any bit is X."""
+    result = 0
+    for index, bit in enumerate(bits):
+        if bit is None:
+            return None
+        if bit:
+            result |= 1 << index
+    return result
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Integer to little-endian bit list of ``width`` bits (truncating)."""
+    return [(value >> i) & 1 for i in range(width)]

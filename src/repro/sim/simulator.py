@@ -1,0 +1,368 @@
+"""Event-driven gate-level logic simulator.
+
+Simulates any :class:`~repro.netlist.core.Netlist` with per-cell
+propagation delays: combinational gates, D flip-flops, transparent
+latches, Muller C-elements and tie cells.  This is the engine that runs
+the *de-synchronized* circuits, where latch controls are produced by
+handshake controller gates rather than a global clock — and, symmetric
+with the paper's methodology, it can also run the synchronous version by
+driving the clock port with a periodic stimulus.
+
+The simulator records, per run:
+
+* value-change history for selected nets (waveforms);
+* toggle counts for every net (the input to the power model);
+* **capture streams**: the sequence of values stored by every latch at
+  each closing edge and by every flip-flop at each active clock edge —
+  the observable that defines *flow equivalence* between the synchronous
+  and de-synchronized circuits.
+
+Timing model: transport delay per cell; a scheduled output change is
+dropped if the output already has that value when the event matures
+(glitches shorter than the cell delay are filtered, which approximates
+inertial behaviour closely enough for delay-matched circuits).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import (
+    CellKind,
+    PIN_D,
+    PIN_ENABLE,
+    PIN_RESET_N,
+)
+from repro.netlist.core import Instance, Net, Netlist
+from repro.sim.events import EventQueue
+from repro.sim.logic import Value, is_falling, is_rising
+from repro.utils.errors import SimulationError
+
+
+@dataclass
+class Capture:
+    """One sequential capture: the latch/FF stored ``value`` at ``time``."""
+
+    time: float
+    value: Value
+
+
+@dataclass
+class SimStats:
+    """Aggregate results of a simulation run."""
+
+    end_time: float = 0.0
+    n_events: int = 0
+    toggles: dict[str, int] = field(default_factory=dict)
+
+
+class EventSimulator:
+    """Event-driven simulator over a validated netlist.
+
+    Args:
+        netlist: the circuit to simulate (validated; may contain
+            combinational loops only through C-elements/latches).
+        record: names of nets whose full value-change history to keep.
+        record_all: keep history for every net (memory-heavy).
+    """
+
+    def __init__(self, netlist: Netlist, record: list[str] | None = None,
+                 record_all: bool = False, record_energy: bool = False,
+                 initial_inputs: dict[str, Value] | None = None):
+        """``initial_inputs`` are input-port values present *during reset*:
+        they participate in the t = 0 settle (no events, no toggles), as
+        if the environment had been driving them while the circuit sat in
+        reset — required when self-timed logic starts switching within a
+        few gate delays of release."""
+        self.netlist = netlist
+        self.now = 0.0
+        self.values: dict[str, Value] = {name: None for name in netlist.nets}
+        for port, value in (initial_inputs or {}).items():
+            net = netlist.nets.get(port)
+            if net is None or not net.is_input_port:
+                raise SimulationError(f"{port} is not an input port")
+            self.values[port] = value
+        self.history: dict[str, list[tuple[float, Value]]] = defaultdict(list)
+        self.captures: dict[str, list[Capture]] = defaultdict(list)
+        self.toggle_counts: dict[str, int] = defaultdict(int)
+        self.n_events = 0
+        # (time, energy fJ) per transition, for supply-current profiles.
+        self.energy_events: list[tuple[float, float]] = []
+        self._record_energy = record_energy
+        self._recorded = set(record or [])
+        self._record_all = record_all
+        self._queue = EventQueue()
+        # Sequential internal state: stored output value per instance.
+        self._state: dict[str, Value] = {}
+        for inst in netlist.instances.values():
+            if inst.is_sequential or inst.is_celement:
+                self._state[inst.name] = inst.init
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    # stimulus
+    # ------------------------------------------------------------------
+    def set_input(self, port: str, value: Value, time: float | None = None) -> None:
+        """Drive an input port to ``value`` at ``time`` (default: now)."""
+        net = self.netlist.nets.get(port)
+        if net is None or not net.is_input_port:
+            raise SimulationError(f"{port} is not an input port")
+        self._queue.push(self.now if time is None else time, (port, value))
+
+    def add_clock(self, port: str, period: float, until: float,
+                  first_edge: float | None = None, start_value: int = 0) -> None:
+        """Schedule a 50 %-duty clock on ``port`` up to time ``until``."""
+        half = period / 2.0
+        time = first_edge if first_edge is not None else half
+        self.set_input(port, start_value, 0.0)
+        value = 1 - start_value
+        while time <= until:
+            self.set_input(port, value, time)
+            value = 1 - value
+            time += half
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> SimStats:
+        """Process events up to and including time ``until``."""
+        while self._queue:
+            peek = self._queue.peek_time()
+            if peek is None or peek > until:
+                break
+            time, (net_name, value) = self._queue.pop()
+            self.now = max(self.now, time)
+            self._apply(net_name, value)
+        self.now = max(self.now, until)
+        return SimStats(end_time=self.now, n_events=self.n_events,
+                        toggles=dict(self.toggle_counts))
+
+    def run_until_quiet(self, max_time: float) -> SimStats:
+        """Run until the event queue drains or ``max_time`` is reached."""
+        return self.run(max_time)
+
+    def value(self, net: str) -> Value:
+        return self.values[net]
+
+    def value_vector(self, base: str, width: int) -> int | None:
+        """Read nets ``base[0..width)`` as a little-endian integer."""
+        from repro.sim.logic import bits_to_int
+        return bits_to_int([self.values[f"{base}[{i}]"] for i in range(width)])
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        """Settle the reset state instantly at t = 0.
+
+        A real circuit sits in reset long enough for everything to reach
+        a fixed point, so sequential and C-element outputs take their
+        ``init`` values and combinational logic settles through them
+        *without* consuming simulated time or counting toggles (inputs
+        not yet driven stay X).  State elements whose settled inputs
+        already demand a change (a transparent latch whose D differs
+        from its stored value, a C-element with all inputs equal) are
+        then kicked so the first transient events fire at their cell
+        delay past t = 0.
+        """
+        for inst in self.netlist.instances.values():
+            if inst.is_sequential or inst.is_celement:
+                self.values[inst.output_net().name] = self._state[inst.name]
+            elif inst.cell.kind is CellKind.TIE:
+                self.values[inst.output_net().name] = inst.cell.tt & 1
+        for inst in self.netlist.topo_order_comb_only():
+            if inst.cell.kind is CellKind.TIE:
+                continue
+            bits = [self._pin(inst, p) for p in inst.cell.inputs]
+            self.values[inst.output_net().name] = inst.cell.eval_ternary(bits)
+        if self._record_all or self._recorded:
+            for name, value in self.values.items():
+                if value is not None and (self._record_all
+                                          or name in self._recorded):
+                    self.history[name].append((0.0, value))
+        for inst in self.netlist.instances.values():
+            if inst.cell.kind is CellKind.CELEMENT:
+                self._eval_celement(inst)
+            elif inst.cell.kind is CellKind.ACK:
+                self._eval_ack(inst)
+            elif inst.cell.kind is CellKind.REQ:
+                self._eval_req(inst)
+            elif inst.cell.kind is CellKind.ASYM:
+                self._eval_asym(inst)
+            elif inst.is_sequential and inst.cell.kind in (
+                    CellKind.LATCH_HIGH, CellKind.LATCH_LOW):
+                transparent = 1 if inst.cell.kind is CellKind.LATCH_HIGH else 0
+                if self._pin(inst, PIN_ENABLE) == transparent:
+                    data = self._pin(inst, PIN_D)
+                    if data != self._state[inst.name]:
+                        self._state[inst.name] = data
+                        self._schedule_output(inst, data)
+
+    def _apply(self, net_name: str, value: Value) -> None:
+        old = self.values[net_name]
+        if value == old:
+            return
+        self.values[net_name] = value
+        self.n_events += 1
+        if old is not None and value is not None:
+            self.toggle_counts[net_name] += 1
+            if self._record_energy:
+                net_obj = self.netlist.nets[net_name]
+                driver = net_obj.driver_instance()
+                if driver is not None:
+                    self.energy_events.append(
+                        (self.now, self.netlist.library.switching_energy(
+                            driver.cell, net_obj.fanout)))
+        if self._record_all or net_name in self._recorded:
+            self.history[net_name].append((self.now, value))
+        net = self.netlist.nets[net_name]
+        for inst, pin in net.sinks:
+            self._evaluate(inst, pin, old)
+
+    def _evaluate(self, inst: Instance, changed_pin: str, old: Value) -> None:
+        kind = inst.cell.kind
+        if kind is CellKind.COMB:
+            self._eval_comb(inst)
+        elif kind is CellKind.CELEMENT:
+            self._eval_celement(inst)
+        elif kind is CellKind.ACK:
+            self._eval_ack(inst)
+        elif kind is CellKind.REQ:
+            self._eval_req(inst)
+        elif kind is CellKind.ASYM:
+            self._eval_asym(inst)
+        elif kind is CellKind.DFF:
+            self._eval_dff(inst, changed_pin, old)
+        elif kind in (CellKind.LATCH_HIGH, CellKind.LATCH_LOW):
+            self._eval_latch(inst, changed_pin, old)
+
+    def _schedule_output(self, inst: Instance, value: Value) -> None:
+        self._queue.push(self.now + inst.cell.delay,
+                         (inst.output_net().name, value))
+
+    def _pin(self, inst: Instance, pin: str) -> Value:
+        return self.values[inst.pins[pin].name]
+
+    def _eval_comb(self, inst: Instance) -> None:
+        bits = [self._pin(inst, p) for p in inst.cell.inputs]
+        self._schedule_output(inst, inst.cell.eval_ternary(bits))
+
+    def _eval_celement(self, inst: Instance) -> None:
+        bits = [self._pin(inst, p) for p in inst.cell.inputs]
+        if all(b == 1 for b in bits):
+            new = 1
+        elif all(b == 0 for b in bits):
+            new = 0
+        else:
+            new = self._state[inst.name]  # hold
+        if new != self._state[inst.name]:
+            self._state[inst.name] = new
+            self._schedule_output(inst, new)
+
+    def _eval_ack(self, inst: Instance) -> None:
+        """Asymmetric C-element (the ACKC handshake token cell).
+
+        Rises when P = 0 and S = 0 (predecessor closed, successor has
+        captured), falls when P = 1 and R = 1 (predecessor reopened and
+        its request reached the successor), holds otherwise.
+        """
+        pred = self._pin(inst, "P")
+        request = self._pin(inst, "R")
+        succ = self._pin(inst, "S")
+        new = self._state[inst.name]
+        if pred == 0 and succ == 0:
+            new = 1
+        elif pred == 1 and request == 1:
+            new = 0
+        if new != self._state[inst.name]:
+            self._state[inst.name] = new
+            self._schedule_output(inst, new)
+
+    def _eval_req(self, inst: Instance) -> None:
+        """Request token latch (REQC): set while R is high; cleared once
+        R is back low during the consumer's pulse (G high)."""
+        request = self._pin(inst, "R")
+        consumer = self._pin(inst, "G")
+        new = self._state[inst.name]
+        if request == 1:
+            new = 1
+        elif request == 0 and consumer == 1:
+            new = 0
+        if new != self._state[inst.name]:
+            self._state[inst.name] = new
+            self._schedule_output(inst, new)
+
+    def _eval_asym(self, inst: Instance) -> None:
+        """Reset-dominant asymmetric C-element (AC2): rises on R and A
+        both high, falls as soon as R is low."""
+        request = self._pin(inst, "R")
+        ack = self._pin(inst, "A")
+        new = self._state[inst.name]
+        if request == 0:
+            new = 0
+        elif request == 1 and ack == 1:
+            new = 1
+        if new != self._state[inst.name]:
+            self._state[inst.name] = new
+            self._schedule_output(inst, new)
+
+    def _eval_dff(self, inst: Instance, changed_pin: str, old: Value) -> None:
+        if PIN_RESET_N in inst.cell.inputs and self._pin(inst, PIN_RESET_N) == 0:
+            if self._state[inst.name] != 0:
+                self._state[inst.name] = 0
+                self._schedule_output(inst, 0)
+            return
+        if changed_pin != inst.cell.clock_pin:
+            return
+        new_clock = self._pin(inst, inst.cell.clock_pin)
+        if is_rising(old, new_clock):
+            data = self._pin(inst, PIN_D)
+            self.captures[inst.name].append(Capture(self.now, data))
+            if data != self._state[inst.name]:
+                self._state[inst.name] = data
+                self._schedule_output(inst, data)
+        elif new_clock is None:
+            raise SimulationError(
+                f"clock of {inst.name} became X at t={self.now}")
+
+    def _eval_latch(self, inst: Instance, changed_pin: str, old: Value) -> None:
+        transparent_level = 1 if inst.cell.kind is CellKind.LATCH_HIGH else 0
+        if PIN_RESET_N in inst.cell.inputs and self._pin(inst, PIN_RESET_N) == 0:
+            if self._state[inst.name] != 0:
+                self._state[inst.name] = 0
+                self._schedule_output(inst, 0)
+            return
+        enable = self._pin(inst, PIN_ENABLE)
+        if changed_pin == inst.cell.clock_pin:
+            if enable is None:
+                raise SimulationError(
+                    f"latch enable of {inst.name} became X at t={self.now}")
+            closing = (is_falling(old, enable)
+                       if transparent_level == 1 else is_rising(old, enable))
+            if closing:
+                captured = self._pin(inst, PIN_D)
+                self.captures[inst.name].append(Capture(self.now, captured))
+                if captured != self._state[inst.name]:
+                    self._state[inst.name] = captured
+                    self._schedule_output(inst, captured)
+                return
+        if enable == transparent_level:
+            data = self._pin(inst, PIN_D)
+            if data != self._state[inst.name]:
+                self._state[inst.name] = data
+                self._schedule_output(inst, data)
+
+
+def settle_combinational(netlist: Netlist, inputs: dict[str, Value],
+                         max_time: float = 1e7) -> dict[str, Value]:
+    """Convenience: drive ``inputs`` at t=0 and run until quiet.
+
+    Returns the final net values.  Useful for testing pure combinational
+    blocks without writing a stimulus loop.
+    """
+    sim = EventSimulator(netlist)
+    for port, value in inputs.items():
+        sim.set_input(port, value, 0.0)
+    sim.run(max_time)
+    return dict(sim.values)

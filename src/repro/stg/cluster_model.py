@@ -1,0 +1,98 @@
+"""Timed marked-graph model of the clustered controller fabric.
+
+While :mod:`repro.stg.patterns` and :mod:`repro.stg.desync_model` carry
+the paper's *per-latch* Figure-4 model (used for the Figure 2/3/4
+reproductions and the idealized cycle-time analysis), this module models
+the fabric :mod:`repro.desync.network` actually builds: one controller
+per register cluster, with signals ``x`` = local clock of bank ``x``
+(``x+`` = masters capture and slaves launch, ``x-`` = slaves capture and
+masters reopen).
+
+Arcs per cluster edge ``g -> p``:
+
+* ``r`` (``g+ -> p+``, one token, request delay): the consumer's next
+  capture waits for the data wave launched by the producer's previous
+  rise, through the matched request line and its token latch;
+* ``af`` (``p+ -> g+``, no token, acknowledge delay): the producer's rise
+  of the *same* index waits for the consumer's capture — the strict
+  no-overwrite ordering that gives the fabric its static hold margin;
+* ``rf`` (``g- -> p-``, no token, request delay): the consumer's fall
+  waits for the producer's request to return to zero.
+
+Self edges (intra-cluster combinational feedback) contribute a one-token
+self-loop ``x+ -> x+`` with the internal matched delay: the bank's period
+cannot beat its own critical path.  Each bank also carries the
+alternation cycle ``x+ -> x- -> x+`` (token on ``x- -> x+``: every local
+clock starts low, all banks capture their reset wave first).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.stg.stg import Stg, transition_name, RISE, FALL
+from repro.utils.errors import DesyncError
+
+
+def build_cluster_model(banks: list[str],
+                        edges: set[tuple[str, str]],
+                        request_delay: Callable[[str, str], float],
+                        ack_delay: float = 0.0,
+                        controller_delay: float | Callable[[str], float] = 0.0,
+                        pulse_width: float = 0.0,
+                        overlap: bool = True,
+                        pacing_delay: Callable[[str, str], float] | None = None,
+                        name: str = "cluster-model") -> Stg:
+    """Compose the clustered-fabric marked graph.
+
+    Args:
+        banks: cluster bank names.
+        edges: cluster adjacency including self edges ``(x, x)``.
+        request_delay: ``(pred, succ) -> ps`` request-path rise delay
+            (matched line plus token-latch response).
+        ack_delay: acknowledge-path delay (inverter + token cell).
+        controller_delay: per-bank controller response (tree + root), a
+            constant or a callable of the bank name.
+        pulse_width: minimal local-clock pulse width (rise-to-fall).
+        overlap: acknowledge discipline (see
+            :class:`repro.desync.network.HandshakeMode`): with overlap
+            the ``af`` arc carries a token (the paper's concurrency) and
+            every edge adds the producer's self-pacing loop; without it
+            the ``af`` arc is unmarked (strictly ordered captures).
+        pacing_delay: ``(pred, succ) -> ps`` pacing-loop delay for the
+            overlap mode (defaults to the request delay).
+    """
+    if not banks:
+        raise DesyncError("cluster model needs at least one bank")
+    model = Stg(name)
+    for bank in sorted(banks):
+        delay = (controller_delay(bank) if callable(controller_delay)
+                 else controller_delay)
+        model.add_signal(bank, initial=0, delay=delay)
+        rise = transition_name(bank, RISE)
+        fall = transition_name(bank, FALL)
+        model.connect(rise, fall, tokens=0, delay=pulse_width,
+                      place=f"self:{bank}:rf")
+        model.connect(fall, rise, tokens=1, place=f"self:{bank}:fr")
+    for pred, succ in sorted(edges):
+        delay = request_delay(pred, succ)
+        p_rise = transition_name(pred, RISE)
+        p_fall = transition_name(pred, FALL)
+        s_rise = transition_name(succ, RISE)
+        s_fall = transition_name(succ, FALL)
+        if pred == succ:
+            model.connect(p_rise, p_rise, tokens=1, delay=delay,
+                          place=f"{pred}>{succ}:r")
+            continue
+        model.connect(p_rise, s_rise, tokens=1, delay=delay,
+                      place=f"{pred}>{succ}:r")
+        model.connect(s_rise, p_rise, tokens=1 if overlap else 0,
+                      delay=ack_delay, place=f"{pred}>{succ}:af")
+        model.connect(p_fall, s_fall, tokens=0, delay=delay,
+                      place=f"{pred}>{succ}:rf")
+        if overlap:
+            pace = (pacing_delay(pred, succ) if pacing_delay is not None
+                    else delay)
+            model.connect(p_rise, p_rise, tokens=1, delay=pace,
+                          place=f"{pred}>{succ}:pace")
+    return model

@@ -1,0 +1,201 @@
+"""Signal Transition Graphs (STGs).
+
+An STG is a Petri net whose transitions are labelled with signal edges
+(``a+`` = signal ``a`` rises, ``a-`` = it falls).  The de-synchronization
+model labels transitions with latch-control events: ``x+`` means latch
+bank ``x`` becomes transparent, ``x-`` means it closes and captures.
+
+In every model generated here each signal has exactly one rising and one
+falling transition, so transition names double as labels.  The class still
+carries an explicit label map so composed or hand-built STGs with repeated
+labels remain expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.petri.marked_graph import MarkedGraph
+from repro.utils.errors import StgError
+
+RISE = "+"
+FALL = "-"
+
+
+def transition_name(signal: str, sign: str) -> str:
+    """Canonical transition name for a signal edge, e.g. ``('a', '+') -> 'a+'``."""
+    if sign not in (RISE, FALL):
+        raise StgError(f"sign must be '+' or '-', got {sign!r}")
+    return f"{signal}{sign}"
+
+
+def parse_label(label: str) -> tuple[str, str]:
+    """Split a transition label into ``(signal, sign)``."""
+    if len(label) < 2 or label[-1] not in (RISE, FALL):
+        raise StgError(f"malformed STG label {label!r}")
+    return label[:-1], label[-1]
+
+
+@dataclass(frozen=True)
+class SignalState:
+    """Binary state of all signals (used by the consistency checker)."""
+
+    values: tuple[tuple[str, int], ...]
+
+    @classmethod
+    def from_dict(cls, values: dict[str, int]) -> "SignalState":
+        return cls(tuple(sorted(values.items())))
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.values)
+
+
+class Stg(MarkedGraph):
+    """A marked-graph STG with initial signal values.
+
+    Attributes:
+        initial_values: signal -> 0/1 value in the initial state.  In the
+            de-synchronization model even (master) latches start
+            transparent (1) and odd (slave) latches opaque (0), matching
+            a synchronous circuit observed with the clock low.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.initial_values: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_signal(self, signal: str, initial: int, delay: float = 0.0,
+                   ) -> tuple[str, str]:
+        """Declare ``signal`` with both of its transitions.
+
+        Returns the ``(rise, fall)`` transition names.
+        """
+        if signal in self.initial_values:
+            raise StgError(f"duplicate signal {signal}")
+        self.initial_values[signal] = 1 if initial else 0
+        rise = transition_name(signal, RISE)
+        fall = transition_name(signal, FALL)
+        self.add_transition(rise, delay=delay, label=rise)
+        self.add_transition(fall, delay=delay, label=fall)
+        return rise, fall
+
+    def signals(self) -> list[str]:
+        return sorted(self.initial_values)
+
+    def signal_of(self, transition: str) -> tuple[str, str]:
+        label = self.transitions[transition].label or transition
+        return parse_label(label)
+
+    # ------------------------------------------------------------------
+    # semantic checks
+    # ------------------------------------------------------------------
+    def check_consistency(self, max_states: int = 100_000) -> None:
+        """Verify rise/fall alternation over the whole reachability graph.
+
+        Walks every reachable marking, tracking the binary signal vector;
+        firing ``a+`` from a state where ``a`` is already 1 (or ``a-``
+        where it is 0) raises :class:`StgError`.  Also fails if two
+        distinct signal vectors are observed for one marking (the marking
+        does not determine the state).
+        """
+        def freeze(marking: dict[str, int]) -> tuple[tuple[str, int], ...]:
+            return tuple(sorted(marking.items()))
+
+        start = self.marking()
+        start_state = dict(self.initial_values)
+        seen: dict[tuple, SignalState] = {
+            freeze(start): SignalState.from_dict(start_state)}
+        frontier = [(start, start_state)]
+        explored = 0
+        while frontier:
+            marking, state = frontier.pop()
+            explored += 1
+            if explored > max_states:
+                raise StgError(f"consistency check exceeded {max_states} states")
+            for transition in self.enabled_transitions(marking):
+                signal, sign = self.signal_of(transition)
+                value = state.get(signal)
+                if value is None:
+                    raise StgError(f"transition {transition} on undeclared "
+                                   f"signal {signal}")
+                if sign == RISE and value == 1:
+                    raise StgError(
+                        f"inconsistent STG {self.name}: {transition} enabled "
+                        f"while {signal}=1")
+                if sign == FALL and value == 0:
+                    raise StgError(
+                        f"inconsistent STG {self.name}: {transition} enabled "
+                        f"while {signal}=0")
+                successor = self.fire(marking, transition)
+                new_state = dict(state)
+                new_state[signal] = 1 if sign == RISE else 0
+                key = freeze(successor)
+                recorded = seen.get(key)
+                candidate = SignalState.from_dict(new_state)
+                if recorded is None:
+                    seen[key] = candidate
+                    frontier.append((successor, new_state))
+                elif recorded != candidate:
+                    raise StgError(
+                        f"inconsistent STG {self.name}: marking reached with "
+                        f"two different signal states")
+
+    def check_model(self, max_states: int = 100_000, bound: int = 2) -> None:
+        """Full validation: marked-graph structure, liveness, boundedness
+        and consistency — the properties ref [1] establishes for the
+        composed de-synchronization model.
+
+        The composed model is 1-safe along the canonical schedule but
+        boundary latches may transiently run one handshake ahead under
+        maximally-reordered interleavings, so the default boundedness
+        check allows two tokens per place (see
+        :mod:`repro.stg.patterns`).
+        """
+        self.check_structure()
+        if not self.is_live():
+            raise StgError(f"STG {self.name} is not live (token-free cycle)")
+        if not self.is_bounded(bound=bound, max_states=max_states):
+            raise StgError(f"STG {self.name} is not {bound}-bounded")
+        self.check_consistency(max_states=max_states)
+
+
+def compose(components: list[Stg], name: str) -> Stg:
+    """Parallel composition of STGs, merging transitions by label.
+
+    This is how the paper builds the global de-synchronization model:
+    pairwise latch-interaction patterns share the transitions of common
+    latches and their places are simply united.  Initial signal values of
+    shared signals must agree.
+    """
+    if not components:
+        raise StgError("cannot compose an empty list of STGs")
+    result = Stg(name)
+    for component in components:
+        for signal, value in component.initial_values.items():
+            known = result.initial_values.get(signal)
+            if known is None:
+                result.add_signal(signal, value)
+            elif known != value:
+                raise StgError(
+                    f"composition conflict: signal {signal} starts at "
+                    f"{known} in one component and {value} in another")
+        # Merge transition delays (max wins: the slowest implementation
+        # of a shared event bounds the composed behaviour).
+        for transition in component.transitions.values():
+            label = transition.label or transition.name
+            if label in result.transitions:
+                existing = result.transitions[label]
+                if transition.delay > existing.delay:
+                    result.transitions[label] = type(existing)(
+                        existing.name, transition.delay, existing.label)
+    for index, component in enumerate(components):
+        for edge in component.edges():
+            src_label = component.transitions[edge.source].label or edge.source
+            dst_label = component.transitions[edge.target].label or edge.target
+            result.connect(src_label, dst_label, tokens=edge.tokens,
+                           delay=edge.delay,
+                           place=f"c{index}:{edge.place}")
+    return result

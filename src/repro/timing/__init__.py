@@ -1,0 +1,35 @@
+"""Static timing analysis and matched-delay synthesis."""
+
+from repro.timing.delays import (
+    DEFAULT_MARGIN,
+    DelayPlan,
+    chain_toggle_energy,
+    insert_delay_line,
+    matched_delay_target,
+    plan_delay_line,
+)
+from repro.timing.sta import (
+    DEFAULT_SETUP,
+    DEFAULT_SKEW,
+    INPUTS,
+    OUTPUTS,
+    TimingResult,
+    analyze,
+    gate_delay,
+)
+
+__all__ = [
+    "DEFAULT_MARGIN",
+    "DelayPlan",
+    "chain_toggle_energy",
+    "insert_delay_line",
+    "matched_delay_target",
+    "plan_delay_line",
+    "DEFAULT_SETUP",
+    "DEFAULT_SKEW",
+    "INPUTS",
+    "OUTPUTS",
+    "TimingResult",
+    "analyze",
+    "gate_delay",
+]

@@ -1,0 +1,102 @@
+"""Matched-delay line planning and synthesis.
+
+Step 2 of the paper's flow: "generation of matched delays for
+combinational logic".  A matched delay is a chain of buffer cells placed
+on the request wire between two latch controllers; it must exceed the
+worst-case launch-to-capture data delay of the stage it protects:
+
+    target = clk_to_q(latch) + worst CL delay * (1 + margin)
+
+The margin plays the role of the process/extraction guard band the paper's
+commercial flow applies; the default 10 % is the figure commonly used in
+the de-synchronization literature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netlist.cells import Library
+from repro.netlist.core import Net, Netlist
+from repro.utils.errors import TimingError
+
+DEFAULT_MARGIN = 0.10
+DELAY_CELL = "BUF"
+
+
+@dataclass(frozen=True)
+class DelayPlan:
+    """A planned matched-delay line.
+
+    Attributes:
+        target: required minimum delay in ps.
+        n_cells: number of buffer cells in the chain.
+        achieved: actual chain delay in ps (>= target).
+        area: added area in um^2.
+    """
+
+    target: float
+    n_cells: int
+    achieved: float
+    area: float
+
+
+def plan_delay_line(target: float, library: Library,
+                    cell_name: str = DELAY_CELL) -> DelayPlan:
+    """Plan a buffer chain whose delay is at least ``target`` ps."""
+    if target < 0:
+        raise TimingError(f"negative delay target {target}")
+    cell = library[cell_name]
+    unit = cell.delay
+    if unit <= 0:
+        raise TimingError(f"cell {cell_name} has non-positive delay")
+    n_cells = max(0, math.ceil(target / unit))
+    return DelayPlan(target=target, n_cells=n_cells,
+                     achieved=n_cells * unit, area=n_cells * cell.area)
+
+
+def matched_delay_target(stage_delay: float, clk_to_q: float,
+                         margin: float = DEFAULT_MARGIN,
+                         launch_pad: float = 0.0) -> float:
+    """Required request delay for a stage.
+
+    Launch overhead (``clk_to_q`` plus any hold-fixing ``launch_pad`` on
+    the latch enable) plus the guarded combinational delay.
+    """
+    if margin < 0:
+        raise TimingError(f"negative margin {margin}")
+    return launch_pad + clk_to_q + stage_delay * (1.0 + margin)
+
+
+def insert_delay_line(netlist: Netlist, source: Net, prefix: str,
+                      plan: DelayPlan, cell_name: str = DELAY_CELL) -> Net:
+    """Instantiate ``plan`` as a buffer chain fed by ``source``.
+
+    Returns the chain's output net (== ``source`` when the plan is empty).
+    Instances are named ``<prefix>/d<i>`` so they group visually with
+    their controller.
+    """
+    current = source
+    for index in range(plan.n_cells):
+        current = netlist.add_gate(cell_name, [current],
+                                   name=f"{prefix}/d{index}")
+    return current
+
+
+def simulated_line_delay(plan: DelayPlan, library: Library,
+                         cell_name: str = DELAY_CELL) -> float:
+    """Delay the chain exhibits in the event simulator (unit fanout).
+
+    Identical to ``plan.achieved`` under the current fixed-delay model;
+    kept separate so a future slope-based model only changes one place.
+    """
+    del library, cell_name
+    return plan.achieved
+
+
+def chain_toggle_energy(plan: DelayPlan, library: Library,
+                        cell_name: str = DELAY_CELL) -> float:
+    """Energy in fJ of one full transition propagating down the chain."""
+    cell = library[cell_name]
+    return plan.n_cells * library.switching_energy(cell, fanout=1)

@@ -1,0 +1,185 @@
+"""Static timing analysis over combinational logic between latch banks.
+
+The de-synchronization flow needs, for every adjacent bank pair
+``(pred, succ)``, the worst-case (and, for the relative-timing check, the
+best-case) combinational delay from a predecessor latch output to a
+successor latch data input.  The worst case sizes the matched delay line;
+the best case bounds the hold-style assumption that the handshake
+response is faster than the shortest data path.
+
+The analysis is levelized: one forward longest/shortest-path pass per
+source bank over the topologically-ordered combinational gates, so the
+cost is O(banks x gates) — comfortable for DLX-scale netlists.
+
+Delay model: fixed pin-to-output delay per cell (from the library) plus a
+fanout increment, standing in for load-dependent delay from extracted
+parasitics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.netlist.core import Instance, Net, Netlist
+from repro.utils.errors import TimingError
+
+# Default sequential overheads in ps (library-calibrated): the DFF cell
+# delay doubles as clk->q, and SETUP is the capture-side margin used for
+# the synchronous period.
+DEFAULT_SETUP = 150.0
+DEFAULT_SKEW = 100.0
+FANOUT_DELAY_PS = 8.0  # extra delay per additional fanout connection
+
+INPUTS = "<inputs>"    # pseudo-bank for primary inputs
+OUTPUTS = "<outputs>"  # pseudo-bank for primary outputs
+
+
+def gate_delay(inst: Instance) -> float:
+    """Effective delay of one instance under the fanout load model."""
+    fanout = inst.output_net().fanout
+    return inst.cell.delay + FANOUT_DELAY_PS * max(0, fanout - 1)
+
+
+@dataclass
+class TimingResult:
+    """Bank-to-bank stage delays and derived clock period.
+
+    Attributes:
+        max_delay: ``(pred, succ) -> worst path delay`` in ps through the
+            combinational logic (excluding launch clk->q and setup).
+        min_delay: best-case path delay for the same pairs.
+        clk_to_q: launch overhead used in period computation.
+        setup: capture overhead.
+        critical_pair: bank pair with the largest stage delay.
+    """
+
+    max_delay: dict[tuple[str, str], float] = field(default_factory=dict)
+    min_delay: dict[tuple[str, str], float] = field(default_factory=dict)
+    clk_to_q: float = 0.0
+    setup: float = DEFAULT_SETUP
+    skew: float = DEFAULT_SKEW
+
+    @property
+    def critical_pair(self) -> tuple[str, str]:
+        if not self.max_delay:
+            raise TimingError("no register-to-register paths found")
+        return max(self.max_delay, key=lambda pair: self.max_delay[pair])
+
+    @property
+    def critical_delay(self) -> float:
+        pair = self.critical_pair
+        return self.max_delay[pair]
+
+    def stage(self, pred: str, succ: str) -> float:
+        try:
+            return self.max_delay[(pred, succ)]
+        except KeyError:
+            raise TimingError(f"no timed path {pred} -> {succ}") from None
+
+    def sync_period(self) -> float:
+        """Synchronous clock period: worst stage + clk->q + setup + skew.
+
+        This is the period the paper's synchronous DLX is timed at; the
+        skew term models the clock-tree uncertainty margin that
+        de-synchronization removes.
+        """
+        return self.critical_delay + self.clk_to_q + self.setup + self.skew
+
+    def register_pairs(self) -> list[tuple[str, str]]:
+        """Bank pairs with real sequential endpoints (no pseudo-banks)."""
+        return [pair for pair in self.max_delay
+                if INPUTS not in pair and OUTPUTS not in pair]
+
+
+def analyze(netlist: Netlist,
+            banks: dict[str, list[Instance]] | None = None,
+            setup: float = DEFAULT_SETUP,
+            skew: float = DEFAULT_SKEW) -> TimingResult:
+    """Compute bank-to-bank combinational stage delays for ``netlist``.
+
+    ``banks`` maps bank name to its sequential instances; by default
+    banks follow :func:`repro.netlist.core.iter_register_banks`.  Primary
+    inputs and outputs appear as the pseudo-banks ``<inputs>`` and
+    ``<outputs>``.
+    """
+    if banks is None:
+        from repro.netlist.core import iter_register_banks
+        banks = {name: insts for name, insts in iter_register_banks(netlist)}
+    seq_instances = [inst for insts in banks.values() for inst in insts]
+    if not seq_instances:
+        raise TimingError(f"{netlist.name} has no sequential elements")
+    bank_of = {inst.name: bank
+               for bank, insts in banks.items() for inst in insts}
+    order = netlist.topo_order_comb_only()
+    clk_to_q = max(inst.cell.delay for inst in seq_instances)
+    result = TimingResult(clk_to_q=clk_to_q, setup=setup, skew=skew)
+
+    sources: dict[str, list[Net]] = {
+        bank: [inst.output_net() for inst in insts]
+        for bank, insts in banks.items()
+    }
+    input_nets = [netlist.nets[p] for p in netlist.inputs
+                  if p != netlist.clock]
+    if input_nets:
+        sources[INPUTS] = input_nets
+
+    for bank, source_nets in sorted(sources.items()):
+        longest, shortest = _propagate(netlist, order, source_nets)
+        _collect_endpoints(netlist, banks, bank_of, bank, longest, shortest,
+                           result)
+    return result
+
+
+def _propagate(netlist: Netlist, order: list[Instance],
+               source_nets: list[Net],
+               ) -> tuple[dict[str, float], dict[str, float]]:
+    """Longest/shortest arrival per net reachable from ``source_nets``."""
+    longest: dict[str, float] = {net.name: 0.0 for net in source_nets}
+    shortest: dict[str, float] = {net.name: 0.0 for net in source_nets}
+    for inst in order:
+        worst = -math.inf
+        best = math.inf
+        for net in inst.input_nets():
+            if net.name in longest:
+                worst = max(worst, longest[net.name])
+                best = min(best, shortest[net.name])
+        if worst == -math.inf:
+            continue
+        delay = gate_delay(inst)
+        out = inst.output_net().name
+        candidate_long = worst + delay
+        candidate_short = best + delay
+        if candidate_long > longest.get(out, -math.inf):
+            longest[out] = candidate_long
+        if candidate_short < shortest.get(out, math.inf):
+            shortest[out] = candidate_short
+    return longest, shortest
+
+
+def _collect_endpoints(netlist: Netlist,
+                       banks: dict[str, list[Instance]],
+                       bank_of: dict[str, str], source_bank: str,
+                       longest: dict[str, float],
+                       shortest: dict[str, float],
+                       result: TimingResult) -> None:
+    for bank, insts in banks.items():
+        worst = -math.inf
+        best = math.inf
+        for inst in insts:
+            data = inst.data_net().name
+            if data in longest:
+                worst = max(worst, longest[data])
+                best = min(best, shortest[data])
+        if worst != -math.inf:
+            result.max_delay[(source_bank, bank)] = worst
+            result.min_delay[(source_bank, bank)] = best
+    worst_out = -math.inf
+    best_out = math.inf
+    for port in netlist.outputs:
+        if port in longest:
+            worst_out = max(worst_out, longest[port])
+            best_out = min(best_out, shortest[port])
+    if worst_out != -math.inf:
+        result.max_delay[(source_bank, OUTPUTS)] = worst_out
+        result.min_delay[(source_bank, OUTPUTS)] = best_out

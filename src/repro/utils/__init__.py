@@ -1,0 +1,6 @@
+"""Shared helpers: error types and hierarchical naming."""
+
+from repro.utils.errors import ReproError
+from repro.utils.naming import NameScope, bit_name, join, split_bit
+
+__all__ = ["ReproError", "NameScope", "bit_name", "join", "split_bit"]

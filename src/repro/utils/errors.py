@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad connection, duplicate name...)."""
+
+
+class CellError(NetlistError):
+    """Unknown cell or illegal use of a cell from the library."""
+
+
+class VerilogError(ReproError):
+    """Problem lexing, parsing or elaborating structural Verilog."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class PetriError(ReproError):
+    """Malformed Petri net or illegal firing."""
+
+
+class NotAMarkedGraphError(PetriError):
+    """The Petri net violates the marked-graph structural restriction."""
+
+
+class StgError(ReproError):
+    """Malformed signal transition graph (inconsistency, bad label...)."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failure (combinational cycle, no paths...)."""
+
+
+class DesyncError(ReproError):
+    """De-synchronization flow failure."""
+
+
+class SimulationError(ReproError):
+    """Logic simulation failure (unresolved X on a latch control, ...)."""
+
+
+class FlowEquivalenceError(ReproError):
+    """The de-synchronized circuit diverged from the synchronous one."""
+
+
+class RtlError(ReproError):
+    """Illegal word-level RTL construction (width mismatch, ...)."""
+
+
+class AssemblerError(ReproError):
+    """DLX assembly failure (unknown mnemonic, bad operand, ...)."""
+
+    def __init__(self, message: str, line: int = 0):
+        location = f" at line {line}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line

@@ -1,0 +1,5 @@
+"""Structural Verilog emission for generated netlists."""
+
+from repro.verilog.writer import netlist_to_verilog, write_verilog
+
+__all__ = ["netlist_to_verilog", "write_verilog"]

@@ -1,0 +1,88 @@
+"""Shared synchronous test circuits for the de-synchronization tests."""
+
+from __future__ import annotations
+
+from repro.netlist import Netlist
+
+
+def lfsr3(name: str = "lfsr") -> Netlist:
+    """3-bit XNOR LFSR: one strongly-connected register loop."""
+    netlist = Netlist(name)
+    clk = netlist.add_input("clk", clock=True)
+    q0, q1, q2 = netlist.net("q0"), netlist.net("q1"), netlist.net("q2")
+    feedback = netlist.add_gate("XNOR2", [q1, q2], name="fb")
+    netlist.add("DFF", name="r0/b", D=feedback, CK=clk, Q=q0)
+    netlist.add("DFF", name="r1/b", D=q0, CK=clk, Q=q1)
+    netlist.add("DFF", name="r2/b", D=q1, CK=clk, Q=q2)
+    netlist.add_output("q2")
+    netlist.validate()
+    return netlist
+
+
+def ripple_counter(bits: int = 4, name: str = "counter") -> Netlist:
+    """Synchronous binary counter (one register bank, self feedback)."""
+    netlist = Netlist(name)
+    clk = netlist.add_input("clk", clock=True)
+    outputs = [netlist.net(f"q[{i}]") for i in range(bits)]
+    carry = None
+    for i in range(bits):
+        if i == 0:
+            next_bit = netlist.add_gate("INV", [outputs[0]], name=f"inv{i}")
+            carry = outputs[0]
+        else:
+            next_bit = netlist.add_gate("XOR2", [outputs[i], carry],
+                                        name=f"x{i}")
+            if i < bits - 1:
+                carry = netlist.add_gate("AND2", [carry, outputs[i]],
+                                         name=f"c{i}")
+        netlist.add("DFF", name=f"cnt/b{i}", D=next_bit, CK=clk, Q=outputs[i])
+    netlist.add_output(outputs[-1].name)
+    netlist.validate()
+    return netlist
+
+
+def inverter_pipeline(stages: int = 4, name: str = "pipe") -> Netlist:
+    """Linear pipeline: input -> INV -> FF -> INV -> FF -> ..."""
+    netlist = Netlist(name)
+    clk = netlist.add_input("clk", clock=True)
+    previous = netlist.add_input("din")
+    for i in range(stages):
+        inverted = netlist.add_gate("INV", [previous], name=f"s{i}_inv")
+        stage = netlist.add("DFF", name=f"st{i}/b", D=inverted, CK=clk,
+                            Q=f"p{i}")
+        previous = stage.output_net()
+    netlist.add_output(previous.name)
+    netlist.validate()
+    return netlist
+
+
+def mixed_feedback(name: str = "mixed") -> Netlist:
+    """Pipeline stage feeding an accumulator loop feeding an output reg."""
+    netlist = Netlist(name)
+    clk = netlist.add_input("clk", clock=True)
+    data = netlist.add_input("d")
+    stage0 = netlist.add("DFF", name="in/b", D=data, CK=clk,
+                         Q="s0").output_net()
+    accumulator = netlist.net("acc")
+    next_acc = netlist.add_gate("XOR2", [stage0, accumulator], name="accx")
+    netlist.add("DFF", name="acc/b", D=next_acc, CK=clk, Q=accumulator)
+    out = netlist.add_gate("INV", [accumulator], name="oinv")
+    netlist.add("DFF", name="out/b", D=out, CK=clk, Q="oq")
+    netlist.add_output("oq")
+    netlist.validate()
+    return netlist
+
+
+def wide_register_exchange(name: str = "xchg") -> Netlist:
+    """Two mutually-feeding 2-bit registers (a register-level SCC)."""
+    netlist = Netlist(name)
+    clk = netlist.add_input("clk", clock=True)
+    a_bits = [netlist.net(f"a[{i}]") for i in range(2)]
+    b_bits = [netlist.net(f"b[{i}]") for i in range(2)]
+    for i in range(2):
+        swapped = netlist.add_gate("INV", [b_bits[i]], name=f"ainv{i}")
+        netlist.add("DFF", name=f"ra/b{i}", D=swapped, CK=clk, Q=a_bits[i])
+        netlist.add("DFF", name=f"rb/b{i}", D=a_bits[i], CK=clk, Q=b_bits[i])
+    netlist.add_output(b_bits[1].name)
+    netlist.validate()
+    return netlist

@@ -1,0 +1,122 @@
+"""Tests for the standard-cell library model."""
+
+import pytest
+
+from repro.netlist import Cell, CellKind, GENERIC, generic_library, truth_table
+from repro.utils.errors import CellError
+
+
+class TestTruthTable:
+    def test_and2(self):
+        assert truth_table(lambda a, b: a & b, 2) == 0b1000
+
+    def test_or2(self):
+        assert truth_table(lambda a, b: a | b, 2) == 0b1110
+
+    def test_inv(self):
+        assert truth_table(lambda a: 1 - a, 1) == 0b01
+
+    def test_mux(self):
+        tt = truth_table(lambda d0, d1, s: d1 if s else d0, 3)
+        cell = GENERIC["MUX2"]
+        assert cell.tt == tt
+
+
+class TestCellEval:
+    @pytest.mark.parametrize("name,inputs,expected", [
+        ("INV", (0,), 1),
+        ("INV", (1,), 0),
+        ("NAND2", (1, 1), 0),
+        ("NAND2", (1, 0), 1),
+        ("NOR2", (0, 0), 1),
+        ("NOR2", (1, 0), 0),
+        ("XOR2", (1, 0), 1),
+        ("XOR2", (1, 1), 0),
+        ("AND3", (1, 1, 1), 1),
+        ("AND3", (1, 0, 1), 0),
+        ("OR4", (0, 0, 0, 0), 0),
+        ("OR4", (0, 0, 1, 0), 1),
+        ("AOI21", (1, 1, 0), 0),
+        ("AOI21", (0, 0, 0), 1),
+        ("OAI21", (1, 0, 1), 0),
+        ("OAI21", (0, 0, 1), 1),
+        ("MUX2", (1, 0, 0), 1),
+        ("MUX2", (1, 0, 1), 0),
+    ])
+    def test_eval(self, name, inputs, expected):
+        assert GENERIC[name].eval(*inputs) == expected
+
+    def test_tie_cells(self):
+        assert GENERIC["TIE0"].eval() == 0
+        assert GENERIC["TIE1"].eval() == 1
+
+    def test_eval_rejects_sequential(self):
+        with pytest.raises(CellError):
+            GENERIC["DFF"].eval(0, 0)
+
+
+class TestTernaryEval:
+    def test_known_inputs(self):
+        assert GENERIC["AND2"].eval_ternary([1, 1]) == 1
+
+    def test_controlling_x(self):
+        # 0 AND X is 0 regardless of X.
+        assert GENERIC["AND2"].eval_ternary([0, None]) == 0
+        # 1 OR X is 1.
+        assert GENERIC["OR2"].eval_ternary([1, None]) == 1
+
+    def test_propagating_x(self):
+        assert GENERIC["AND2"].eval_ternary([1, None]) is None
+        assert GENERIC["XOR2"].eval_ternary([None, 0]) is None
+
+    def test_mux_select_x_same_data(self):
+        # MUX with X select but equal data inputs is still defined.
+        assert GENERIC["MUX2"].eval_ternary([1, 1, None]) == 1
+
+    def test_all_x(self):
+        assert GENERIC["NAND2"].eval_ternary([None, None]) is None
+
+
+class TestLibrary:
+    def test_lookup_unknown(self):
+        with pytest.raises(CellError):
+            GENERIC["FRED"]
+
+    def test_contains(self):
+        assert "NAND2" in GENERIC
+        assert "FRED" not in GENERIC
+
+    def test_duplicate_add(self):
+        lib = generic_library()
+        with pytest.raises(CellError):
+            lib.add(lib["INV"])
+
+    def test_sequential_cells_have_clock_pins(self):
+        for name in ("DFF", "DFFR", "LATCH_H", "LATCH_L"):
+            cell = GENERIC[name]
+            assert cell.clock_pin is not None
+            assert cell.clock_pin in cell.inputs
+
+    def test_celement_kinds(self):
+        assert GENERIC["C2"].kind is CellKind.CELEMENT
+        assert GENERIC["C3"].kind is CellKind.CELEMENT
+
+    def test_latch_pair_costs_more_than_dff(self):
+        # A source of the paper's small area overhead: two discrete
+        # latches are slightly larger than one flip-flop.
+        assert 2 * GENERIC["LATCH_H"].area > GENERIC["DFF"].area
+
+    def test_switching_energy_grows_with_fanout(self):
+        nand = GENERIC["NAND2"]
+        assert (GENERIC.switching_energy(nand, 4)
+                > GENERIC.switching_energy(nand, 1))
+
+    def test_all_comb_cells_have_positive_metrics(self):
+        for cell in GENERIC.comb_cells():
+            assert cell.area > 0
+            assert cell.delay >= 0
+            assert cell.energy >= 0
+
+    def test_pins_order(self):
+        cell = GENERIC["MUX2"]
+        assert cell.pins == ("A", "B", "C", "Q")

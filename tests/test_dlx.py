@@ -1,0 +1,176 @@
+"""Tests for the DLX: ISA, assembler, golden model, gate-level core."""
+
+import pytest
+
+from repro.dlx import (
+    DlxConfig,
+    DlxSystem,
+    GoldenDlx,
+    assemble,
+    build_dlx,
+    decode,
+    disassemble,
+    load,
+)
+from repro.dlx.isa import NOP, OP_ADDI, encode_i
+from repro.utils.errors import AssemblerError, RtlError
+
+
+class TestIsa:
+    def test_decode_fields(self):
+        word = encode_i(OP_ADDI, 2, 3, 0xFFFB)  # addi r3, r2, -5
+        inst = decode(word)
+        assert inst.opcode == OP_ADDI
+        assert inst.rs == 2
+        assert inst.rt == 3
+        assert inst.simm == -5
+
+    def test_nop_is_zero(self):
+        assert NOP == 0
+
+    def test_disassemble_roundtrip_forms(self):
+        source = """
+            add r1, r2, r3
+            addi r4, r5, -7
+            lw r6, 3(r7)
+            beq r1, r2, 2
+            sll r1, r2, 4
+            j 12
+            halt
+        """
+        for word, expect in zip(assemble(source),
+                                ["add r1, r2, r3", "addi r4, r5, -7",
+                                 "lw r6, 3(r7)", "beq r1, r2, 2",
+                                 "sll r1, r2, 4", "j 12", "halt"]):
+            assert disassemble(word) == expect
+
+
+class TestAssembler:
+    def test_labels_resolve(self):
+        words = assemble("""
+        start:  addi r1, r0, 1
+                beq r1, r0, start
+                j start
+        """)
+        assert decode(words[1]).simm == -2  # back to start
+        assert decode(words[2]).target == 0
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi r99, r0, 1")
+
+    def test_word_directive(self):
+        assert assemble(".word 0xdeadbeef") == [0xDEADBEEF]
+
+    def test_comments_ignored(self):
+        assert len(assemble("nop ; trailing\n# whole line\nnop")) == 2
+
+
+class TestGolden:
+    def test_fibonacci(self):
+        program, data = load("fibonacci")
+        result = GoldenDlx(16, 8).run(program, data)
+        assert result.halted
+        assert result.registers[1] == 55  # fib(10)
+
+    def test_gcd(self):
+        program, data = load("gcd")
+        result = GoldenDlx(16, 8).run(program, data)
+        assert result.registers[3] == 42
+
+    def test_memory_sum(self):
+        program, data = load("memory_sum")
+        result = GoldenDlx(16, 8).run(program, data)
+        assert result.registers[2] == sum((i + 1) * 3 for i in range(8))
+
+    def test_bubble_sort(self):
+        program, data = load("bubble_sort")
+        result = GoldenDlx(16, 8).run(program, data)
+        assert [result.memory[a] for a in range(32, 37)] == [1, 2, 5, 7, 9]
+
+    def test_r0_never_written(self):
+        result = GoldenDlx(16, 8).run(assemble("addi r0, r0, 7\nhalt"))
+        assert result.registers[0] == 0
+
+    def test_runaway_detected(self):
+        result = GoldenDlx(16, 8).run(assemble("loop: j loop"),
+                                      max_steps=50)
+        assert not result.halted
+
+
+@pytest.fixture(scope="module")
+def core16():
+    return build_dlx(DlxConfig(width=16, n_registers=8))
+
+
+class TestGateLevelCore:
+    def test_config_validation(self):
+        with pytest.raises(RtlError):
+            DlxConfig(width=8)
+        with pytest.raises(RtlError):
+            DlxConfig(n_registers=6)
+
+    def test_core_structure(self, core16):
+        netlist = core16.netlist
+        assert netlist.clock == "clk"
+        banks = {name for name, _ in
+                 __import__("repro.netlist", fromlist=["iter_register_banks"]
+                            ).iter_register_banks(netlist)}
+        assert {"pc", "if_id", "id_ex", "ex_mem", "mem_wb"} <= banks
+        assert {"r1", "r7"} <= banks
+
+    @pytest.mark.parametrize("program_name", [
+        "fibonacci", "gcd", "shift_mask", "hazard_torture", "memory_sum",
+    ])
+    def test_programs_match_golden(self, core16, program_name):
+        program, data = load(program_name)
+        system = DlxSystem(core16, program, data)
+        golden = system.golden_result()
+        run = system.run_sync(max_cycles=1500)
+        assert run.halted
+        assert run.commit_values() == [(c.register, c.value)
+                                       for c in golden.commits]
+        for register, value in golden.memory.items():
+            assert run.memory.get(register, 0) == value
+
+    def test_bubble_sort_sorts(self, core16):
+        program, data = load("bubble_sort")
+        system = DlxSystem(core16, program, data)
+        run = system.run_sync(max_cycles=1500)
+        assert run.halted
+        assert [run.memory[a] for a in range(32, 37)] == [1, 2, 5, 7, 9]
+
+
+class TestDesyncDlx:
+    """The paper's experiment: the same DLX, de-synchronized, still runs."""
+
+    def test_program_on_async_fabric(self, core16):
+        from repro.desync import desynchronize
+        result = desynchronize(core16.netlist)
+        program, data = load("shift_mask")
+        system = DlxSystem(core16, program, data)
+        golden = system.golden_result()
+        run = system.run_desync(result.desync_netlist,
+                                result.desync_cycle_time().cycle_time,
+                                max_cycles=50)
+        assert run.halted
+        for i in range(1, 8):
+            assert run.registers[i] == golden.registers[i]
+
+    def test_desync_overheads_small(self, core16):
+        from repro.desync import desynchronize
+        result = desynchronize(core16.netlist)
+        ratio = (result.desync_cycle_time().cycle_time
+                 / result.sync_period())
+        assert 1.0 <= ratio < 1.35
+        area_ratio = (result.desync_netlist.total_area()
+                      / core16.netlist.total_area())
+        assert 1.0 < area_ratio < 1.10

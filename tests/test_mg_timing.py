@@ -1,0 +1,129 @@
+"""Tests for marked-graph cycle-time analysis and timed simulation."""
+
+import pytest
+
+from repro.petri import MarkedGraph, cycle_time, simulate, total_tokens
+from repro.utils.errors import PetriError
+
+
+def ring_with(delays: list[float], tokens: list[int],
+              edge_delays: list[float] | None = None) -> MarkedGraph:
+    mg = MarkedGraph("ring")
+    count = len(delays)
+    for i, delay in enumerate(delays):
+        mg.add_transition(f"t{i}", delay=delay)
+    for i in range(count):
+        extra = edge_delays[i] if edge_delays else 0.0
+        mg.connect(f"t{i}", f"t{(i + 1) % count}", tokens=tokens[i],
+                   delay=extra)
+    return mg
+
+
+class TestCycleTime:
+    def test_single_token_ring(self):
+        mg = ring_with([10, 20, 30], [1, 0, 0])
+        result = cycle_time(mg)
+        assert result.cycle_time == pytest.approx(60.0, rel=1e-4)
+        assert result.critical_tokens == 1
+
+    def test_two_tokens_halve_period(self):
+        mg = ring_with([10, 20, 30, 40], [1, 0, 1, 0])
+        result = cycle_time(mg)
+        assert result.cycle_time == pytest.approx(50.0, rel=1e-4)
+
+    def test_edge_delays_count(self):
+        mg = ring_with([10, 10], [1, 0], edge_delays=[100.0, 0.0])
+        result = cycle_time(mg)
+        assert result.cycle_time == pytest.approx(120.0, rel=1e-4)
+
+    def test_max_over_cycles(self):
+        # Two rings sharing a transition: the slower one dominates.
+        mg = MarkedGraph("two")
+        for name, delay in [("a", 10.0), ("b", 10.0), ("c", 100.0)]:
+            mg.add_transition(name, delay=delay)
+        mg.connect("a", "b", tokens=1)
+        mg.connect("b", "a", tokens=0)
+        mg.connect("a", "c", tokens=1)
+        mg.connect("c", "a", tokens=0)
+        result = cycle_time(mg)
+        assert result.cycle_time == pytest.approx(110.0, rel=1e-4)
+        assert "c" in result.critical_cycle
+
+    def test_critical_cycle_is_consistent(self):
+        mg = ring_with([15, 25, 35], [0, 1, 0])
+        result = cycle_time(mg)
+        assert result.critical_delay / result.critical_tokens == pytest.approx(
+            result.cycle_time, rel=1e-3)
+
+    def test_non_live_raises(self):
+        mg = ring_with([10, 10], [0, 0])
+        with pytest.raises(PetriError):
+            cycle_time(mg)
+
+    def test_acyclic_graph_zero_period(self):
+        mg = MarkedGraph("line")
+        mg.add_transition("a", delay=10.0)
+        mg.add_transition("b", delay=10.0)
+        mg.connect("a", "b", tokens=0)
+        result = cycle_time(mg)
+        assert result.cycle_time == 0.0
+
+    def test_total_tokens(self):
+        assert total_tokens(ring_with([1, 1], [1, 1])) == 2
+
+
+class TestTimedSimulation:
+    def test_period_matches_analysis(self):
+        mg = ring_with([10, 20, 30], [1, 0, 0])
+        trace = simulate(mg, rounds=10)
+        assert trace.steady_period("t0", settle=2) == pytest.approx(
+            60.0, rel=1e-4)
+
+    def test_event_counts(self):
+        mg = ring_with([10, 20], [1, 0])
+        trace = simulate(mg, rounds=5)
+        counts = trace.firing_counts()
+        assert counts == {"t0": 5, "t1": 5}
+
+    def test_events_sorted(self):
+        mg = ring_with([10, 20, 5, 1], [1, 0, 1, 0])
+        trace = simulate(mg, rounds=6)
+        times = [event.time for event in trace.events]
+        assert times == sorted(times)
+
+    def test_concurrent_transitions(self):
+        # Fork-join: both branches fire each round.
+        mg = MarkedGraph("forkjoin")
+        for name in ("src", "up", "down", "join"):
+            mg.add_transition(name, delay=10.0)
+        mg.connect("src", "up", tokens=0)
+        mg.connect("src", "down", tokens=0)
+        mg.connect("up", "join", tokens=0)
+        mg.connect("down", "join", tokens=0)
+        mg.connect("join", "src", tokens=1)
+        trace = simulate(mg, rounds=4)
+        counts = trace.firing_counts()
+        assert set(counts.values()) == {4}
+        # Join waits for the slower branch: period is 30.
+        assert trace.steady_period("src", settle=1) == pytest.approx(30.0)
+
+    def test_edge_delay_in_simulation(self):
+        mg = ring_with([0, 0], [1, 0], edge_delays=[100.0, 0.0])
+        trace = simulate(mg, rounds=6)
+        assert trace.steady_period("t0", settle=1) == pytest.approx(100.0)
+
+    def test_too_few_firings_for_period(self):
+        mg = ring_with([10, 10], [1, 0])
+        trace = simulate(mg, rounds=2)
+        with pytest.raises(PetriError):
+            trace.steady_period("t0", settle=2)
+
+    def test_times_of(self):
+        mg = ring_with([10, 0], [1, 0])
+        trace = simulate(mg, rounds=3)
+        assert trace.times_of("t0") == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_horizon(self):
+        mg = ring_with([10, 0], [1, 0])
+        trace = simulate(mg, rounds=3)
+        assert trace.horizon == pytest.approx(30.0)

@@ -1,0 +1,153 @@
+"""Tests for the power, clock-tree and EMI models."""
+
+import numpy as np
+import pytest
+
+from repro.desync import desynchronize
+from repro.netlist import GENERIC
+from repro.power import (
+    ActivityProfile,
+    build_clock_tree,
+    current_profile,
+    dynamic_power,
+    fabric_cycle_energy,
+    fabric_power_mw,
+    from_cycle_simulation,
+    sequential_clock_pin_energy,
+    spectrum,
+)
+from repro.sim import CycleSimulator, EventSimulator
+
+from tests.circuits import ripple_counter
+
+
+class TestClockTree:
+    def test_scaling_with_sinks(self):
+        small = build_clock_tree(64, 3.5, 50_000, GENERIC)
+        large = build_clock_tree(1024, 3.5, 400_000, GENERIC)
+        assert large.n_buffers > small.n_buffers
+        assert large.total_cap_ff > small.total_cap_ff
+        assert large.area_um2 > small.area_um2
+
+    def test_power_at_period(self):
+        tree = build_clock_tree(128, 3.5, 100_000, GENERIC)
+        assert tree.power_mw(2000.0) == pytest.approx(
+            tree.energy_per_cycle_fj / 2000.0)
+
+    def test_needs_sinks(self):
+        with pytest.raises(ValueError):
+            build_clock_tree(0, 3.5, 1000, GENERIC)
+
+
+class TestDynamicPower:
+    def test_counter_power_positive(self):
+        netlist = ripple_counter(4)
+        sim = CycleSimulator(netlist)
+        sim.run(64)
+        activity = from_cycle_simulation(netlist, sim.toggle_counts, 64,
+                                         1000.0)
+        report = dynamic_power(netlist, activity)
+        assert report.total_mw > 0
+        assert report.group("logic") > 0
+        assert report.group("sequential") > 0
+
+    def test_clock_tree_term(self):
+        netlist = ripple_counter(4)
+        tree = build_clock_tree(4, 3.5, netlist.total_area() * 2, GENERIC)
+        activity = ActivityProfile(toggles={}, duration_ps=1000.0, cycles=1)
+        report = dynamic_power(netlist, activity, clock_tree=tree,
+                               period_ps=1000.0)
+        assert report.group("clock_tree") == pytest.approx(
+            tree.power_mw(1000.0))
+
+    def test_clock_tree_requires_period(self):
+        netlist = ripple_counter(4)
+        tree = build_clock_tree(4, 3.5, 1000, GENERIC)
+        activity = ActivityProfile(toggles={}, duration_ps=1.0, cycles=1)
+        with pytest.raises(ValueError):
+            dynamic_power(netlist, activity, clock_tree=tree)
+
+    def test_zero_duration(self):
+        report = dynamic_power(ripple_counter(3),
+                               ActivityProfile(duration_ps=0.0))
+        assert report.total_mw == 0.0
+
+    def test_describe(self):
+        report = dynamic_power(ripple_counter(3),
+                               ActivityProfile(toggles={"q[0]": 4},
+                                               duration_ps=100.0, cycles=1))
+        assert "dynamic power" in report.describe()
+
+
+class TestFabricPower:
+    def test_fabric_energy_positive(self):
+        result = desynchronize(ripple_counter(4))
+        energy = fabric_cycle_energy(result.network)
+        assert energy > 0
+        assert fabric_power_mw(
+            result.network,
+            result.desync_cycle_time().cycle_time) == pytest.approx(
+                energy / result.desync_cycle_time().cycle_time)
+
+    def test_fabric_estimate_matches_event_sim(self):
+        """The 2-transitions-per-cycle fabric accounting matches the
+        event-driven simulation to first order."""
+        result = desynchronize(ripple_counter(4))
+        cycle = result.desync_cycle_time().cycle_time
+        sim = EventSimulator(result.desync_netlist, record_energy=True)
+        cycles = 24
+        sim.run(cycles * cycle)
+        from repro.power.power import classify_instance
+        fabric_energy = 0.0
+        for time, energy in sim.energy_events:
+            fabric_energy += energy  # total switching energy
+        estimate = (fabric_cycle_energy(result.network) * cycles)
+        # Fabric dominates a counter's total energy; the analytic
+        # estimate must land within a factor of two of the simulation.
+        assert 0.5 * estimate < fabric_energy < 3.0 * estimate
+
+    def test_sequential_clock_pin_energy(self):
+        netlist = ripple_counter(4)
+        assert sequential_clock_pin_energy(netlist) == pytest.approx(
+            4 * GENERIC["DFF"].input_cap * GENERIC.voltage ** 2)
+
+
+class TestEmi:
+    def test_profile_binning(self):
+        events = [(10.0, 5.0), (10.0, 5.0), (120.0, 2.0)]
+        profile = current_profile(events, bin_ps=50.0, duration_ps=200.0)
+        assert profile.energy_fj[0] == pytest.approx(10.0)
+        assert profile.energy_fj[2] == pytest.approx(2.0)
+
+    def test_skip_transient(self):
+        events = [(10.0, 100.0), (500.0, 1.0)]
+        profile = current_profile(events, bin_ps=50.0, skip_ps=100.0)
+        assert profile.energy_fj.sum() == pytest.approx(1.0)
+
+    def test_periodic_profile_has_tonal_spectrum(self):
+        # Impulses every 10 bins -> strong line at 1/(10 bins).
+        events = [(float(t), 10.0) for t in range(0, 10_000, 500)]
+        profile = current_profile(events, bin_ps=50.0, duration_ps=10_000)
+        spec = spectrum(profile)
+        flat = np.ones_like(profile.energy_fj)
+        flat_spec = spectrum(current_profile(
+            [(i * 50.0 + 1, 1.0) for i in range(len(flat))],
+            bin_ps=50.0, duration_ps=10_000))
+        assert spec.spectral_flatness < flat_spec.spectral_flatness
+        assert spec.peak_line > 0
+
+    def test_crest_factor_sync_vs_desync(self):
+        result = desynchronize(ripple_counter(4))
+        period = result.sync_period()
+        sync_sim = EventSimulator(ripple_counter(4), record_energy=True)
+        sync_sim.add_clock("clk", period=period, until=25 * period)
+        sync_sim.run(25 * period)
+        desync_sim = EventSimulator(result.desync_netlist,
+                                    record_energy=True)
+        desync_sim.run(25 * result.desync_cycle_time().cycle_time)
+        sp = current_profile(sync_sim.energy_events, bin_ps=period / 20,
+                             skip_ps=4 * period)
+        dp = current_profile(desync_sim.energy_events, bin_ps=period / 20,
+                             skip_ps=4 * period)
+        assert (dp.peak_power_mw / dp.average_power_mw
+                < sp.peak_power_mw / sp.average_power_mw)

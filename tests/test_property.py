@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+* marked-graph token conservation and confluence;
+* flow equivalence of randomly generated synchronous circuits;
+* STG pattern validity for arbitrary latch chains.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.desync import DesyncOptions, HandshakeMode, desynchronize
+from repro.equiv import check_flow_equivalence
+from repro.netlist import Netlist
+from repro.petri import MarkedGraph, cycle_time, simulate
+from repro.stg import Parity, linear_pipeline
+
+
+@st.composite
+def token_rings(draw):
+    """A ring of 2-6 transitions with 1-3 tokens and random delays."""
+    size = draw(st.integers(2, 6))
+    delays = [draw(st.floats(1.0, 100.0)) for _ in range(size)]
+    token_edges = draw(st.lists(st.integers(0, size - 1), min_size=1,
+                                max_size=3, unique=True))
+    graph = MarkedGraph("ring")
+    for index, delay in enumerate(delays):
+        graph.add_transition(f"t{index}", delay=delay)
+    for index in range(size):
+        graph.connect(f"t{index}", f"t{(index + 1) % size}",
+                      tokens=1 if index in token_edges else 0)
+    return graph
+
+
+class TestMarkedGraphProperties:
+    @given(token_rings())
+    @settings(max_examples=40, deadline=None)
+    def test_firing_conserves_ring_tokens(self, graph):
+        marking = graph.marking()
+        total = sum(marking.values())
+        for _ in range(10):
+            enabled = graph.enabled_transitions(marking)
+            if not enabled:
+                break
+            marking = graph.fire(marking, enabled[0])
+            assert sum(marking.values()) == total
+
+    @given(token_rings())
+    @settings(max_examples=30, deadline=None)
+    def test_simulated_period_matches_max_cycle_ratio(self, graph):
+        # With k tokens in flight the inter-firing intervals are
+        # k-periodic, so average over a multiple of lcm(1..3) intervals.
+        analysis = cycle_time(graph)
+        trace = simulate(graph, rounds=11)
+        name = next(iter(graph.transitions))
+        measured = trace.steady_period(name, settle=4)  # 6 tail intervals
+        assert abs(measured - analysis.cycle_time) <= max(
+            1e-6, 0.02 * analysis.cycle_time)
+
+    @given(token_rings())
+    @settings(max_examples=30, deadline=None)
+    def test_liveness_iff_no_tokenfree_cycle(self, graph):
+        # Construction guarantees >= 1 token on the single ring cycle.
+        assert graph.is_live()
+
+
+class TestPatternProperties:
+    @given(st.integers(2, 6), st.sampled_from(list(Parity)),
+           st.floats(0.0, 2000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_models_always_valid(self, length, first, delay):
+        names = [f"L{i}" for i in range(length)]
+        model = linear_pipeline(names, first_parity=first,
+                                stage_delay=delay, controller_delay=10.0)
+        model.check_model()
+        assert cycle_time(model).cycle_time > 0
+
+
+@st.composite
+def random_sync_circuits(draw):
+    """A random synchronous netlist: 2-5 registers, random 2-input CL.
+
+    Every register's D input is a random function of register outputs,
+    so the circuit is self-contained (no data inputs) and its dynamics
+    exercise arbitrary feedback structures, including SCCs.
+    """
+    n_regs = draw(st.integers(2, 5))
+    netlist = Netlist("rand")
+    clk = netlist.add_input("clk", clock=True)
+    outputs = [netlist.net(f"q{i}") for i in range(n_regs)]
+    gates = ["AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2"]
+    for i in range(n_regs):
+        cell = draw(st.sampled_from(gates))
+        a = outputs[draw(st.integers(0, n_regs - 1))]
+        b = outputs[draw(st.integers(0, n_regs - 1))]
+        if a is b:
+            data = netlist.add_gate("INV", [a], name=f"g{i}")
+        else:
+            data = netlist.add_gate(cell, [a, b], name=f"g{i}")
+        init = draw(st.integers(0, 1))
+        netlist.add("DFF", name=f"r{i}/b", init=init, D=data, CK=clk,
+                    Q=outputs[i])
+    netlist.add_output(outputs[-1].name)
+    netlist.validate()
+    return netlist
+
+
+class TestFlowEquivalenceProperty:
+    """The paper's theorem, sampled over random circuits: the
+    de-synchronized netlist is flow-equivalent to the synchronous one."""
+
+    @given(random_sync_circuits())
+    @settings(max_examples=10, deadline=None)
+    def test_overlap_mode(self, netlist):
+        # The overlap protocol carries relative-timing obligations (as in
+        # the paper, where commercial signoff discharges them): either
+        # the circuit is flow-equivalent, or the flow's own hold checker
+        # flags the offending edge so a designer would fix or fall back
+        # to serial mode.
+        result = desynchronize(netlist, DesyncOptions(
+            mode=HandshakeMode.OVERLAP, validate_model=False))
+        report = check_flow_equivalence(result, cycles=16)
+        if not report.equivalent:
+            checks = result.verify_hold(use_model=False)
+            assert any(not check.ok for check in checks), (
+                report.divergences[:3])
+            serial = desynchronize(netlist, DesyncOptions(
+                mode=HandshakeMode.SERIAL, validate_model=False))
+            check_flow_equivalence(serial, cycles=12).assert_ok()
+
+    @given(random_sync_circuits())
+    @settings(max_examples=6, deadline=None)
+    def test_serial_mode(self, netlist):
+        result = desynchronize(netlist, DesyncOptions(
+            mode=HandshakeMode.SERIAL, validate_model=False))
+        report = check_flow_equivalence(result, cycles=12)
+        assert report.equivalent, report.divergences[:3]

@@ -1,0 +1,161 @@
+"""Tests for the RTL construction language and gate lowering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl import RtlModule, const, mux, mux_many
+from repro.sim import CycleSimulator
+from repro.utils.errors import RtlError
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+
+
+def _signed(value: int) -> int:
+    return value - (1 << WIDTH) if value & (1 << (WIDTH - 1)) else value
+
+
+def build_alu_module():
+    module = RtlModule("alu")
+    a = module.input("a", WIDTH)
+    b = module.input("b", WIDTH)
+    module.output("add", a + b)
+    module.output("sub", a - b)
+    module.output("and_", a & b)
+    module.output("or_", a | b)
+    module.output("xor_", a ^ b)
+    module.output("not_", ~a)
+    module.output("eq", a.eq(b))
+    module.output("ltu", a.lt_unsigned(b))
+    module.output("lts", a.lt_signed(b))
+    module.output("ror", a.reduce_or())
+    module.output("rand", a.reduce_and())
+    return module.build()
+
+
+@pytest.fixture(scope="module")
+def alu_sim():
+    return CycleSimulator(build_alu_module())
+
+
+class TestCombinationalOps:
+    @given(a=st.integers(0, MASK), b=st.integers(0, MASK))
+    @settings(max_examples=60, deadline=None)
+    def test_against_python_semantics(self, alu_sim, a, b):
+        alu_sim.drive_vector("a", a, WIDTH)
+        alu_sim.drive_vector("b", b, WIDTH)
+        alu_sim.evaluate()
+        assert alu_sim.read_vector("add", WIDTH) == (a + b) & MASK
+        assert alu_sim.read_vector("sub", WIDTH) == (a - b) & MASK
+        assert alu_sim.read_vector("and_", WIDTH) == a & b
+        assert alu_sim.read_vector("or_", WIDTH) == a | b
+        assert alu_sim.read_vector("xor_", WIDTH) == a ^ b
+        assert alu_sim.read_vector("not_", WIDTH) == (~a) & MASK
+        assert alu_sim.read_vector("eq", 1) == int(a == b)
+        assert alu_sim.read_vector("ltu", 1) == int(a < b)
+        assert alu_sim.read_vector("lts", 1) == int(_signed(a) < _signed(b))
+        assert alu_sim.read_vector("ror", 1) == int(a != 0)
+        assert alu_sim.read_vector("rand", 1) == int(a == MASK)
+
+
+class TestShifts:
+    @given(a=st.integers(0, MASK), amount=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_variable_shifts(self, a, amount):
+        module = RtlModule("sh")
+        value = module.input("v", WIDTH)
+        shamt = module.input("s", 3)
+        module.output("shl", value.shift_left(shamt))
+        module.output("shr", value.shift_right(shamt))
+        module.output("sra", value.shift_right_arith(shamt))
+        sim = CycleSimulator(module.build())
+        sim.drive_vector("v", a, WIDTH)
+        sim.drive_vector("s", amount, 3)
+        sim.evaluate()
+        assert sim.read_vector("shl", WIDTH) == (a << amount) & MASK
+        assert sim.read_vector("shr", WIDTH) == a >> amount
+        assert sim.read_vector("sra", WIDTH) == (_signed(a) >> amount) & MASK
+
+    def test_constant_shift(self):
+        module = RtlModule("shc")
+        value = module.input("v", WIDTH)
+        module.output("out", value.shift_left(3))
+        sim = CycleSimulator(module.build())
+        sim.drive_vector("v", 0b1011, WIDTH)
+        sim.evaluate()
+        assert sim.read_vector("out", WIDTH) == (0b1011 << 3) & MASK
+
+
+class TestStructure:
+    def test_slice_concat_extend(self):
+        module = RtlModule("s")
+        value = module.input("v", 8)
+        module.output("hi", value[4:8])
+        module.output("cat", value[0:4].concat(value[4:8]))
+        module.output("zext", value[0:4].zero_extend(8))
+        module.output("sext", value[0:4].sign_extend(8))
+        sim = CycleSimulator(module.build())
+        sim.drive_vector("v", 0xA5, 8)
+        sim.evaluate()
+        assert sim.read_vector("hi", 4) == 0xA
+        assert sim.read_vector("cat", 8) == 0xA5
+        assert sim.read_vector("zext", 8) == 0x05
+        assert sim.read_vector("sext", 8) == 0x05
+        sim.drive_vector("v", 0xA8, 8)
+        sim.evaluate()
+        assert sim.read_vector("sext", 8) == 0xF8  # sign bit set
+
+    def test_mux_many(self):
+        module = RtlModule("m")
+        sel = module.input("sel", 2)
+        options = [const(v, 8) for v in (11, 22, 33, 44)]
+        module.output("out", mux_many(sel, options))
+        sim = CycleSimulator(module.build())
+        for index, expect in enumerate((11, 22, 33, 44)):
+            sim.drive_vector("sel", index, 2)
+            sim.evaluate()
+            assert sim.read_vector("out", 8) == expect
+
+    def test_width_mismatch_rejected(self):
+        module = RtlModule("w")
+        a = module.input("a", 8)
+        b = module.input("b", 4)
+        with pytest.raises(RtlError):
+            _ = a + b
+
+    def test_mux_select_width(self):
+        with pytest.raises(RtlError):
+            mux(const(0, 2), const(0, 4), const(0, 4))
+
+    def test_slice_out_of_range(self):
+        module = RtlModule("x")
+        a = module.input("a", 4)
+        with pytest.raises(RtlError):
+            _ = a[7]
+
+
+class TestRegisters:
+    def test_register_requires_next(self):
+        module = RtlModule("r")
+        module.reg("state", 4)
+        with pytest.raises(RtlError):
+            module.build()
+
+    def test_register_init_and_update(self):
+        module = RtlModule("r")
+        state = module.reg("state", 4, init=5)
+        state.next = state.bus + const(1, 4)
+        sim = CycleSimulator(module.build())
+        assert sim.read_vector("state_q", 4) == 5
+        sim.step()
+        assert sim.read_vector("state_q", 4) == 6
+
+    def test_register_bank_naming(self):
+        module = RtlModule("r")
+        state = module.reg("acc", 4)
+        state.next = state.bus
+        netlist = module.build()
+        from repro.netlist import iter_register_banks
+        banks = dict(iter_register_banks(netlist))
+        assert "acc" in banks
+        assert len(banks["acc"]) == 4

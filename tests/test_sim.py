@@ -1,0 +1,293 @@
+"""Tests for the event-driven and cycle-accurate simulators."""
+
+import pytest
+
+from repro.netlist import Netlist
+from repro.sim import (
+    CycleSimulator,
+    EventSimulator,
+    LatchCycleSimulator,
+    WaveGroup,
+    bits_to_int,
+    int_to_bits,
+    overlap_intervals,
+    settle_combinational,
+    to_char,
+)
+from repro.utils.errors import SimulationError
+
+
+class TestLogicHelpers:
+    def test_to_char(self):
+        assert to_char(1) == "1"
+        assert to_char(0) == "0"
+        assert to_char(None) == "X"
+
+    def test_bits_roundtrip(self):
+        assert bits_to_int(int_to_bits(0b1011, 6)) == 0b1011
+
+    def test_bits_with_x(self):
+        assert bits_to_int([1, None, 0]) is None
+
+
+class TestCombinationalSettle:
+    def test_and_gate(self):
+        n = Netlist("t")
+        a, b = n.add_input("a"), n.add_input("b")
+        y = n.add_gate("AND2", [a, b], name="g")
+        n.add_output(y.name)
+        values = settle_combinational(n, {"a": 1, "b": 1})
+        assert values[y.name] == 1
+
+    def test_x_propagation(self):
+        n = Netlist("t")
+        a, b = n.add_input("a"), n.add_input("b")
+        y = n.add_gate("AND2", [a, b], name="g")
+        values = settle_combinational(n, {"a": 1})  # b undriven
+        assert values[y.name] is None
+
+    def test_controlling_x(self):
+        n = Netlist("t")
+        a, b = n.add_input("a"), n.add_input("b")
+        y = n.add_gate("AND2", [a, b], name="g")
+        values = settle_combinational(n, {"a": 0})
+        assert values[y.name] == 0
+
+
+class TestEventSimulator:
+    def test_dff_samples_on_rising_edge(self):
+        n = Netlist("t")
+        clk = n.add_input("clk", clock=True)
+        d = n.add_input("d")
+        n.add("DFF", name="r", D=d, CK=clk, Q="q")
+        n.add_output("q")
+        sim = EventSimulator(n)
+        sim.set_input("d", 1, 0.0)
+        sim.add_clock("clk", period=1000.0, until=3000.0)
+        sim.run(3000.0)
+        captures = sim.captures["r"]
+        assert len(captures) == 3
+        assert all(c.value == 1 for c in captures)
+        assert sim.value("q") == 1
+
+    def test_latch_transparent_vs_opaque(self):
+        n = Netlist("t")
+        en = n.add_input("en")
+        d = n.add_input("d")
+        n.add("LATCH_H", name="l", D=d, EN=en, Q="q")
+        n.add_output("q")
+        sim = EventSimulator(n)
+        sim.set_input("en", 1, 0.0)
+        sim.set_input("d", 1, 100.0)
+        sim.run(1000.0)
+        assert sim.value("q") == 1  # transparent: follows D
+        sim.set_input("en", 0, 1000.0)
+        sim.set_input("d", 0, 1200.0)
+        sim.run(2000.0)
+        assert sim.value("q") == 1  # opaque: holds captured value
+        assert sim.captures["l"][-1].value == 1
+
+    def test_celement_holds(self):
+        n = Netlist("t")
+        a, b = n.add_input("a"), n.add_input("b")
+        n.add("C2", name="c", A=a, B=b, Q="q")
+        n.add_output("q")
+        sim = EventSimulator(n)
+        sim.set_input("a", 1, 0.0)
+        sim.set_input("b", 1, 0.0)
+        sim.run(500.0)
+        assert sim.value("q") == 1
+        sim.set_input("a", 0, 500.0)  # mixed inputs: hold
+        sim.run(1000.0)
+        assert sim.value("q") == 1
+        sim.set_input("b", 0, 1000.0)  # all zero: fall
+        sim.run(1500.0)
+        assert sim.value("q") == 0
+
+    def test_ack_cell_protocol(self):
+        n = Netlist("t")
+        p, r, s = n.add_input("p"), n.add_input("r"), n.add_input("s")
+        n.add("ACKC", name="a", init=1, P=p, R=r, S=s, Q="q")
+        n.add_output("q")
+        sim = EventSimulator(n)
+        sim.set_input("p", 0, 0.0)
+        sim.set_input("r", 1, 0.0)
+        sim.set_input("s", 1, 0.0)
+        sim.run(300.0)
+        assert sim.value("q") == 1  # holds init
+        sim.set_input("p", 1, 300.0)  # clear: P and R high
+        sim.run(600.0)
+        assert sim.value("q") == 0
+        sim.set_input("p", 0, 600.0)
+        sim.set_input("s", 0, 600.0)  # set: P and S low
+        sim.run(900.0)
+        assert sim.value("q") == 1
+
+    def test_reqc_protocol(self):
+        n = Netlist("t")
+        r, g = n.add_input("r"), n.add_input("g")
+        n.add("REQC", name="t0", init=0, R=r, G=g, Q="q")
+        n.add_output("q")
+        sim = EventSimulator(n)
+        sim.set_input("r", 1, 0.0)
+        sim.set_input("g", 0, 0.0)
+        sim.run(300.0)
+        assert sim.value("q") == 1  # set while R high
+        sim.set_input("r", 0, 300.0)
+        sim.run(600.0)
+        assert sim.value("q") == 1  # holds: G low
+        sim.set_input("g", 1, 600.0)
+        sim.run(900.0)
+        assert sim.value("q") == 0  # consumed
+
+    def test_asym_cell(self):
+        n = Netlist("t")
+        r, a = n.add_input("r"), n.add_input("a")
+        n.add("AC2", name="c", init=0, R=r, A=a, Q="q")
+        n.add_output("q")
+        sim = EventSimulator(n)
+        sim.set_input("r", 1, 0.0)
+        sim.set_input("a", 0, 0.0)
+        sim.run(300.0)
+        assert sim.value("q") == 0  # rise needs both
+        sim.set_input("a", 1, 300.0)
+        sim.run(600.0)
+        assert sim.value("q") == 1
+        sim.set_input("a", 0, 600.0)
+        sim.run(900.0)
+        assert sim.value("q") == 1  # ack ignored on fall
+        sim.set_input("r", 0, 900.0)
+        sim.run(1200.0)
+        assert sim.value("q") == 0  # reset-dominant
+
+    def test_toggle_counting_ignores_x_transitions(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        y = n.add_gate("INV", [a], name="i")
+        n.add_output(y.name)
+        sim = EventSimulator(n)
+        sim.set_input("a", 0, 0.0)   # X -> 0: not counted
+        sim.set_input("a", 1, 500.0)
+        sim.run(1000.0)
+        assert sim.toggle_counts["a"] == 1
+
+    def test_bad_input_port(self):
+        n = Netlist("t")
+        n.add_input("a")
+        sim = EventSimulator(n)
+        with pytest.raises(SimulationError):
+            sim.set_input("nope", 1)
+
+    def test_reset_settles_combinational(self):
+        """At t=0 the logic between state elements is already settled."""
+        n = Netlist("t")
+        clk = n.add_input("clk", clock=True)
+        q = n.net("q")
+        inv = n.add_gate("INV", [q], name="i")
+        n.add("DFF", name="r", init=0, D=inv, CK=clk, Q=q)
+        n.add_output(q.name)
+        sim = EventSimulator(n)
+        assert sim.value(inv.name) == 1  # settled without any event
+
+
+class TestCycleSimulator:
+    def test_counter_counts(self):
+        from tests.circuits import ripple_counter
+        sim = CycleSimulator(ripple_counter(4))
+        sim.run(5)
+        assert sim.read_vector("q", 4) == 5
+
+    def test_drive_and_read_vector(self):
+        n = Netlist("t")
+        clk = n.add_input("clk", clock=True)
+        for i in range(4):
+            n.add_input(f"d[{i}]")
+            n.add("DFF", name=f"r/b{i}", D=f"d[{i}]", CK=clk, Q=f"q[{i}]")
+        n.add_output("q[3]")
+        sim = CycleSimulator(n)
+        sim.drive_vector("d", 0b1010, 4)
+        sim.step()
+        assert sim.read_vector("q", 4) == 0b1010
+
+    def test_reset_pin(self):
+        n = Netlist("t")
+        clk = n.add_input("clk", clock=True)
+        rn = n.add_input("rn")
+        one = n.add_gate("TIE1", [], name="one")
+        n.add("DFFR", name="r", D=one, CK=clk, RN=rn, Q="q")
+        n.add_output("q")
+        sim = CycleSimulator(n)
+        sim.set_inputs({"rn": 0})
+        sim.step()
+        assert sim.value("q") == 0
+        sim.set_inputs({"rn": 1})
+        sim.step()
+        assert sim.value("q") == 1
+
+    def test_rejects_latches(self):
+        from repro.desync import latchify
+        from tests.circuits import lfsr3
+        with pytest.raises(SimulationError):
+            CycleSimulator(latchify(lfsr3()))
+
+
+class TestLatchCycleSimulator:
+    def test_matches_ff_reference(self):
+        from repro.desync import latchify, master_name
+        from tests.circuits import ripple_counter
+        sync = ripple_counter(3)
+        latched = latchify(sync)
+        ff_sim = CycleSimulator(sync)
+        latch_sim = LatchCycleSimulator(latched)
+        ff_sim.run(12)
+        latch_sim.run(12)
+        for ff in sync.dff_instances():
+            assert (latch_sim.captures[master_name(ff.name)]
+                    == ff_sim.captures[ff.name])
+
+    def test_rejects_ffs(self):
+        from tests.circuits import lfsr3
+        with pytest.raises(SimulationError):
+            LatchCycleSimulator(lfsr3())
+
+
+class TestWaves:
+    def test_wave_at(self):
+        group = WaveGroup()
+        wave = group.wave("a")
+        wave.add(0.0, 0)
+        wave.add(100.0, 1)
+        wave.add(200.0, 0)
+        assert wave.at(50.0) == 0
+        assert wave.at(150.0) == 1
+        assert wave.at(250.0) == 0
+
+    def test_from_transitions(self):
+        group = WaveGroup.from_transitions(
+            [(10.0, "a+"), (20.0, "a-")], initial={"a": 0})
+        assert group.wave("a").at(15.0) == 1
+
+    def test_render(self):
+        group = WaveGroup.from_transitions(
+            [(10.0, "a+"), (60.0, "a-")], initial={"a": 0})
+        art = group.render(width=10, until=100.0)
+        assert "a" in art
+        assert "#" in art
+        assert "_" in art
+
+    def test_overlap_intervals(self):
+        group = WaveGroup()
+        a = group.wave("a")
+        b = group.wave("b")
+        a.add(0.0, 1)
+        a.add(100.0, 0)
+        b.add(50.0, 1)
+        b.add(150.0, 0)
+        assert overlap_intervals(a, b, 200.0) == pytest.approx(50.0)
+
+    def test_non_monotonic_rejected(self):
+        group = WaveGroup()
+        wave = group.wave("a")
+        wave.add(10.0, 1)
+        with pytest.raises(ValueError):
+            wave.add(5.0, 0)

@@ -1,0 +1,139 @@
+"""Tests for static timing analysis and matched-delay planning."""
+
+import pytest
+
+from repro.netlist import GENERIC, Netlist
+from repro.timing import (
+    DelayPlan,
+    INPUTS,
+    OUTPUTS,
+    analyze,
+    chain_toggle_energy,
+    gate_delay,
+    insert_delay_line,
+    matched_delay_target,
+    plan_delay_line,
+)
+from repro.utils.errors import TimingError
+
+from tests.circuits import inverter_pipeline, lfsr3
+
+
+class TestSta:
+    def test_stage_delays_found(self):
+        result = analyze(lfsr3())
+        # r2 -> r0 goes through the XNOR feedback gate.
+        xnor_path = result.stage((("r2")), "r0")
+        assert xnor_path > 0
+        # r0 -> r1 is a direct wire: zero combinational delay.
+        assert result.stage("r0", "r1") == 0.0
+
+    def test_min_max_ordering(self):
+        result = analyze(lfsr3())
+        for pair, worst in result.max_delay.items():
+            assert result.min_delay[pair] <= worst + 1e-9
+
+    def test_critical_pair(self):
+        result = analyze(lfsr3())
+        pred, succ = result.critical_pair
+        assert result.stage(pred, succ) == result.critical_delay
+
+    def test_sync_period_terms(self):
+        result = analyze(lfsr3(), setup=100.0, skew=50.0)
+        expected = (result.critical_delay + result.clk_to_q + 100.0 + 50.0)
+        assert result.sync_period() == pytest.approx(expected)
+
+    def test_pseudo_banks(self):
+        result = analyze(inverter_pipeline(2))
+        assert (INPUTS, "st0") in result.max_delay
+        assert ("st1", OUTPUTS) in result.max_delay
+
+    def test_register_pairs_excludes_ports(self):
+        result = analyze(inverter_pipeline(3))
+        for pair in result.register_pairs():
+            assert INPUTS not in pair
+            assert OUTPUTS not in pair
+
+    def test_unknown_stage_raises(self):
+        result = analyze(lfsr3())
+        with pytest.raises(TimingError):
+            result.stage("r0", "r2")  # no direct path
+
+    def test_no_sequential_raises(self):
+        netlist = Netlist("comb")
+        a = netlist.add_input("a")
+        netlist.add_gate("INV", [a], name="i")
+        with pytest.raises(TimingError):
+            analyze(netlist)
+
+    def test_gate_delay_fanout_derating(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        inv = netlist.add_gate("INV", [a], name="i")
+        for i in range(4):
+            netlist.add_gate("BUF", [inv], name=f"b{i}")
+        driver = netlist.instances["i"]
+        assert gate_delay(driver) > driver.cell.delay
+
+    def test_longest_path_through_chain(self):
+        netlist = Netlist("chain")
+        clk = netlist.add_input("clk", clock=True)
+        q = netlist.add("DFF", name="src/b", D="loop", CK=clk,
+                        Q="q0").output_net()
+        current = q
+        for i in range(5):
+            current = netlist.add_gate("INV", [current], name=f"i{i}")
+        netlist.add("DFF", name="dst/b", D=current, CK=clk, Q="loop")
+        netlist.add_output(current.name)
+        result = analyze(netlist)
+        # Five inverters, each with one fanout except the last (two:
+        # port + DFF): delay is at least 5 basic INV delays.
+        assert result.stage("src", "dst") >= 5 * GENERIC["INV"].delay
+
+
+class TestDelayPlanning:
+    def test_plan_reaches_target(self):
+        plan = plan_delay_line(500.0, GENERIC)
+        assert plan.achieved >= 500.0
+        assert plan.n_cells == 8  # 500 / 65 -> ceil
+
+    def test_zero_target(self):
+        plan = plan_delay_line(0.0, GENERIC)
+        assert plan.n_cells == 0
+        assert plan.achieved == 0.0
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(TimingError):
+            plan_delay_line(-1.0, GENERIC)
+
+    def test_matched_target_formula(self):
+        target = matched_delay_target(1000.0, clk_to_q=200.0, margin=0.1)
+        assert target == pytest.approx(200.0 + 1100.0)
+
+    def test_matched_target_with_launch_pad(self):
+        assert matched_delay_target(0.0, 100.0, 0.0, launch_pad=50.0) == 150.0
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(TimingError):
+            matched_delay_target(100.0, 100.0, margin=-0.5)
+
+    def test_insert_delay_line(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        plan = plan_delay_line(200.0, GENERIC)
+        out = insert_delay_line(netlist, a, "dl", plan)
+        assert out is not a
+        assert len(netlist.comb_instances()) == plan.n_cells
+
+    def test_insert_empty_line_passthrough(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        plan = DelayPlan(target=0.0, n_cells=0, achieved=0.0, area=0.0)
+        assert insert_delay_line(netlist, a, "dl", plan) is a
+
+    def test_chain_toggle_energy(self):
+        plan = plan_delay_line(325.0, GENERIC)
+        energy = chain_toggle_energy(plan, GENERIC)
+        assert energy > 0
+        assert energy == pytest.approx(
+            plan.n_cells * GENERIC.switching_energy(GENERIC["BUF"], 1))

@@ -1,0 +1,88 @@
+"""Tests for repro.utils: naming helpers and the error hierarchy."""
+
+import pytest
+
+from repro.utils import NameScope, bit_name, join, split_bit
+from repro.utils.errors import (
+    AssemblerError,
+    NetlistError,
+    PetriError,
+    ReproError,
+    VerilogError,
+)
+from repro.utils.naming import escape_verilog, is_simple_identifier
+
+
+class TestNaming:
+    def test_bit_name(self):
+        assert bit_name("data", 3) == "data[3]"
+
+    def test_split_bit_roundtrip(self):
+        assert split_bit(bit_name("bus", 17)) == ("bus", 17)
+
+    def test_split_bit_plain(self):
+        assert split_bit("clk") == ("clk", None)
+
+    def test_split_bit_nested(self):
+        base, index = split_bit("alu/sum[4]")
+        assert base == "alu/sum"
+        assert index == 4
+
+    def test_join(self):
+        assert join("cpu", "alu", "carry") == "cpu/alu/carry"
+
+    def test_join_skips_empty(self):
+        assert join("", "alu") == "alu"
+
+    def test_is_simple_identifier(self):
+        assert is_simple_identifier("n_42")
+        assert not is_simple_identifier("a/b")
+        assert not is_simple_identifier("d[0]")
+        assert not is_simple_identifier("9abc")
+
+    def test_escape_verilog_plain(self):
+        assert escape_verilog("foo") == "foo"
+
+    def test_escape_verilog_hierarchical(self):
+        escaped = escape_verilog("a/b[0]")
+        assert escaped.startswith("\\")
+        assert escaped.endswith(" ")
+
+
+class TestNameScope:
+    def test_unique_first_use(self):
+        scope = NameScope()
+        assert scope.unique("u") == "u"
+
+    def test_unique_collision(self):
+        scope = NameScope()
+        scope.unique("u")
+        assert scope.unique("u") == "u_1"
+        assert scope.unique("u") == "u_2"
+
+    def test_reserve(self):
+        scope = NameScope()
+        scope.reserve("taken")
+        assert "taken" in scope
+        assert scope.unique("taken") == "taken_1"
+
+    def test_prepopulated(self):
+        scope = NameScope({"a", "b"})
+        assert scope.unique("a") == "a_1"
+        assert scope.unique("c") == "c"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error_type in (NetlistError, PetriError, VerilogError,
+                           AssemblerError):
+            assert issubclass(error_type, ReproError)
+
+    def test_verilog_error_location(self):
+        error = VerilogError("bad token", line=3, column=7)
+        assert "3:7" in str(error)
+        assert error.line == 3
+
+    def test_assembler_error_location(self):
+        error = AssemblerError("unknown mnemonic", line=12)
+        assert "12" in str(error)
