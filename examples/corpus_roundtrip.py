@@ -1,0 +1,51 @@
+"""Workload frontend demo: generate -> Verilog -> read back -> de-sync.
+
+Picks a few corpus configurations, writes each as structural Verilog,
+re-reads the text through the parser (the path an external gate-level
+design takes into the flow), checks that the recovered netlist is
+structurally identical, then de-synchronizes the *recovered* netlist
+and verifies flow equivalence against its synchronous self by
+gate-level simulation.
+
+Run:  PYTHONPATH=src python examples/corpus_roundtrip.py
+"""
+
+from repro.corpus import generate, get
+from repro.desync import desynchronize
+from repro.equiv import check_flow_equivalence
+from repro.verilog import netlist_signature, netlist_to_verilog, read_verilog
+
+CONFIGS = ["pipe4x1", "lfsr8", "crc5", "diamond2x4"]
+
+
+def main() -> None:
+    for name in CONFIGS:
+        spec = get(name)
+        netlist = generate(spec)
+
+        source = netlist_to_verilog(netlist)
+        recovered = read_verilog(source)
+        assert netlist_signature(recovered) == netlist_signature(netlist)
+
+        result = desynchronize(recovered)
+        drive = {port: 1 for port in recovered.inputs
+                 if port != recovered.clock}
+        report = check_flow_equivalence(result, cycles=24,
+                                        inputs=drive or None)
+        report.assert_ok()
+
+        cycle = result.desync_cycle_time().cycle_time
+        print(f"{name:12s} ({spec.description}):")
+        print(f"  verilog            {len(source.splitlines())} lines, "
+              f"round-trip identical")
+        print(f"  registers/domains  {len(recovered.dff_instances())}/"
+              f"{len(result.clustering.clusters)}")
+        print(f"  sync period        {result.sync_period():,.0f} ps")
+        print(f"  desync cycle time  {cycle:,.0f} ps")
+        print(f"  flow equivalence   OK over {report.cycles_compared} cycles "
+              f"across {report.registers} registers")
+        print()
+
+
+if __name__ == "__main__":
+    main()

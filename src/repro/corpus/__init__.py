@@ -1,0 +1,49 @@
+"""Workload corpus: parameterized synthetic circuit generators.
+
+``repro.corpus`` is the workload frontend's synthetic half: families of
+synchronous circuits (pipelines, counters, LFSRs, CRCs, FIR
+correlators, array multipliers, fork/join diamonds) built as validated
+netlists over the generic library, plus a registry of named
+configurations the benchmarks sweep.  The structural-Verilog half lives
+in :mod:`repro.verilog`.
+"""
+
+from repro.corpus.generators import (
+    array_multiplier,
+    counter,
+    crc,
+    fir_filter,
+    fork_join,
+    lfsr,
+    linear_pipeline,
+)
+from repro.corpus.registry import (
+    GENERATORS,
+    REGISTRY,
+    CorpusSpec,
+    generate,
+    get,
+    iter_corpus,
+    names,
+    register,
+    spec,
+)
+
+__all__ = [
+    "GENERATORS",
+    "REGISTRY",
+    "CorpusSpec",
+    "array_multiplier",
+    "counter",
+    "crc",
+    "fir_filter",
+    "fork_join",
+    "generate",
+    "get",
+    "iter_corpus",
+    "lfsr",
+    "linear_pipeline",
+    "names",
+    "register",
+    "spec",
+]

@@ -1,0 +1,145 @@
+"""Named corpus configurations and the ``generate`` entry point.
+
+The registry is the population of workloads the benchmarks sweep: each
+:class:`CorpusSpec` names a generator from
+:mod:`repro.corpus.generators` plus its parameters, and
+:func:`generate` turns a spec (or its registered name) into a validated
+synchronous netlist.  Scaling/perf work measures against this
+population rather than a single hand-picked circuit; new shapes enter
+by calling :func:`register` (or just by constructing a spec locally).
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.corpus import generators
+from repro.netlist.core import Netlist
+from repro.utils.errors import CorpusError
+
+GENERATORS = {
+    "linear_pipeline": generators.linear_pipeline,
+    "counter": generators.counter,
+    "lfsr": generators.lfsr,
+    "crc": generators.crc,
+    "fir_filter": generators.fir_filter,
+    "array_multiplier": generators.array_multiplier,
+    "fork_join": generators.fork_join,
+}
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """One named workload configuration.
+
+    Attributes:
+        name: registry name, also the generated netlist's module name.
+        generator: key into :data:`GENERATORS`.
+        params: keyword arguments for the generator (``name`` excluded).
+        description: one-line human summary for reports.
+    """
+
+    name: str
+    generator: str
+    params: tuple[tuple[str, object], ...] = ()
+    description: str = ""
+
+    @property
+    def kwargs(self) -> dict[str, object]:
+        return dict(self.params)
+
+
+def spec(name: str, generator: str, description: str = "",
+         **params: object) -> CorpusSpec:
+    """Convenience constructor: ``spec("lfsr8", "lfsr", bits=8)``."""
+    if generator not in GENERATORS:
+        raise CorpusError(f"unknown generator {generator!r} "
+                          f"(have: {', '.join(sorted(GENERATORS))})")
+    return CorpusSpec(name=name, generator=generator,
+                      params=tuple(sorted(params.items())),
+                      description=description)
+
+
+REGISTRY: dict[str, CorpusSpec] = {}
+
+
+def register(entry: CorpusSpec) -> CorpusSpec:
+    """Add ``entry`` to the registry (duplicate names are an error)."""
+    if entry.name in REGISTRY:
+        raise CorpusError(f"corpus name {entry.name!r} already registered")
+    if entry.generator not in GENERATORS:
+        raise CorpusError(f"unknown generator {entry.generator!r}")
+    REGISTRY[entry.name] = entry
+    return entry
+
+
+def names() -> list[str]:
+    """Registered configuration names, sorted."""
+    return sorted(REGISTRY)
+
+
+def get(name: str) -> CorpusSpec:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise CorpusError(f"unknown corpus configuration {name!r} "
+                          f"(have: {', '.join(names())})") from None
+
+
+def generate(target: CorpusSpec | str) -> Netlist:
+    """Build the netlist for a spec or a registered configuration name."""
+    entry = get(target) if isinstance(target, str) else target
+    if entry.generator not in GENERATORS:
+        raise CorpusError(f"unknown generator {entry.generator!r}")
+    builder = GENERATORS[entry.generator]
+    try:
+        # Bind first so unknown/extra parameters surface as a config
+        # error; a TypeError from inside the builder stays a code bug.
+        inspect.signature(builder).bind(name=entry.name, **entry.kwargs)
+    except TypeError as exc:
+        raise CorpusError(
+            f"corpus configuration {entry.name!r} is invalid: {exc}") from exc
+    try:
+        # Every generator validates before returning.
+        return builder(name=entry.name, **entry.kwargs)
+    except ValueError as exc:
+        raise CorpusError(
+            f"corpus configuration {entry.name!r} is invalid: {exc}") from exc
+
+
+def iter_corpus() -> Iterator[tuple[CorpusSpec, Netlist]]:
+    """Generate every registered configuration, in name order."""
+    for name in names():
+        entry = REGISTRY[name]
+        yield entry, generate(entry)
+
+
+# ----------------------------------------------------------------------
+# Default population: at least one configuration per structural family,
+# plus size sweeps inside the families the benchmarks scale along.
+# ----------------------------------------------------------------------
+for _entry in (
+    spec("pipe4x1", "linear_pipeline", "4-stage inverter pipeline",
+         depth=4),
+    spec("pipe8x2", "linear_pipeline", "8-stage, 2-bit coupled pipeline",
+         depth=8, width=2, logic_depth=2),
+    spec("pipe4x4", "linear_pipeline", "4-stage, 4-bit deep-logic pipeline",
+         depth=4, width=4, logic_depth=3),
+    spec("counter6", "counter", "6-bit binary counter", bits=6),
+    spec("lfsr8", "lfsr", "8-bit XNOR LFSR"),
+    spec("lfsr16", "lfsr", "16-bit XNOR LFSR, 4-tap feedback",
+         bits=16, taps=(10, 12, 13, 15)),
+    spec("crc5", "crc", "CRC-5-USB serial register", width=5, poly=0x05),
+    spec("crc8", "crc", "CRC-8-CCITT serial register", width=8, poly=0x07),
+    spec("fir5", "fir_filter", "5-tap GF(2) correlator, sparse taps",
+         taps=5, coeffs=0b10101),
+    spec("fir8", "fir_filter", "8-tap GF(2) correlator", taps=8),
+    spec("mult2", "array_multiplier", "2x2 array multiplier", width=2),
+    spec("mult4", "array_multiplier", "4x4 array multiplier", width=4),
+    spec("diamond2x4", "fork_join", "fork/join diamond, 2- vs 4-deep",
+         depth_a=2, depth_b=4),
+):
+    register(_entry)
+del _entry

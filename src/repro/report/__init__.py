@@ -1,5 +1,5 @@
-"""Reporting helpers (text tables, CSV series)."""
+"""Reporting helpers (text tables, CSV/JSON series)."""
 
-from repro.report.table import TextTable, write_csv
+from repro.report.table import TextTable, write_csv, write_json
 
-__all__ = ["TextTable", "write_csv"]
+__all__ = ["TextTable", "write_csv", "write_json"]

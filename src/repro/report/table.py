@@ -1,7 +1,8 @@
-"""Paper-style text tables and CSV series for the benchmark harness."""
+"""Paper-style text tables and CSV/JSON series for the benchmark harness."""
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 
@@ -38,13 +39,41 @@ class TextTable:
         print()
 
 
-def write_csv(path: str, columns: list[str],
-              rows: list[list[object]]) -> None:
-    """Write a figure data series as CSV (creating directories)."""
+def _ensure_parent(path: str) -> None:
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
+
+
+def write_csv(path: str, columns: list[str],
+              rows: list[list[object]]) -> None:
+    """Write a figure data series as CSV (creating directories)."""
+    _ensure_parent(path)
     with open(path, "w") as handle:
         handle.write(",".join(columns) + "\n")
         for row in rows:
             handle.write(",".join(str(cell) for cell in row) + "\n")
+
+
+def write_json(path: str, columns: list[str],
+               rows: list[list[object]]) -> None:
+    """Write a data series as a JSON list of row objects.
+
+    Same ``(columns, rows)`` shape as :func:`write_csv`, so a bench can
+    emit both artifacts from one result set; values pass through
+    unconverted, preserving numbers for machine consumers (the perf
+    trajectory tooling reads these).  Shape mismatches raise instead of
+    silently dropping fields from the JSON objects.
+    """
+    if len(set(columns)) != len(columns):
+        raise ValueError(f"duplicate column names in {columns}")
+    for index, row in enumerate(rows):
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row {index} has {len(row)} cells for "
+                f"{len(columns)} columns")
+    _ensure_parent(path)
+    payload = [dict(zip(columns, row)) for row in rows]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")

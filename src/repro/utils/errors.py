@@ -30,6 +30,10 @@ class VerilogError(ReproError):
         self.column = column
 
 
+class CorpusError(ReproError):
+    """Invalid corpus configuration (unknown generator, bad parameters...)."""
+
+
 class PetriError(ReproError):
     """Malformed Petri net or illegal firing."""
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import re
 
+from repro.utils.errors import VerilogError
+
 HIER_SEP = "/"
 
 _IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
@@ -43,10 +45,16 @@ def escape_verilog(name: str) -> str:
 
     Plain identifiers pass through; anything containing hierarchy
     separators or bit selects becomes an escaped identifier
-    (``\\name `` with the mandatory trailing space).
+    (``\\name `` with the mandatory trailing space).  Names containing
+    whitespace cannot be represented at all — the whitespace would
+    terminate the escaped identifier — so they are rejected.
     """
     if is_simple_identifier(name):
         return name
+    if not name or any(char.isspace() for char in name):
+        raise VerilogError(
+            f"name {name!r} cannot be emitted as a Verilog identifier: "
+            "it is empty or contains whitespace")
     return f"\\{name} "
 
 

@@ -1,5 +1,18 @@
-"""Structural Verilog emission for generated netlists."""
+"""Structural Verilog emission and ingestion for gate-level netlists."""
 
+from repro.verilog.reader import (
+    infer_clock,
+    netlist_signature,
+    read_verilog,
+    read_verilog_file,
+)
 from repro.verilog.writer import netlist_to_verilog, write_verilog
 
-__all__ = ["netlist_to_verilog", "write_verilog"]
+__all__ = [
+    "infer_clock",
+    "netlist_signature",
+    "netlist_to_verilog",
+    "read_verilog",
+    "read_verilog_file",
+    "write_verilog",
+]

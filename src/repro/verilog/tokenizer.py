@@ -1,0 +1,121 @@
+"""Lexer for the structural-Verilog subset the flow reads and writes.
+
+The subset is exactly what :mod:`repro.verilog.writer` emits: plain and
+escaped identifiers, the punctuation of module/port/instance syntax, and
+``//`` line comments.  Comments are not discarded — the writer encodes
+machine-readable annotations (``library=``, ``clock=``, ``init=``) as
+``// key=value`` comments, so the tokenizer returns them alongside the
+token stream with their line numbers and lets the parser associate them
+with the header or with an instance statement.
+
+Escaped identifiers follow the Verilog rule: ``\\`` starts the
+identifier, any run of printable non-whitespace characters forms the
+name, and a whitespace character *must* terminate it.  A backslash
+followed by whitespace or end-of-input is a lexing error.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.utils.errors import VerilogError
+
+# Token kinds.
+ID = "id"            # plain identifier (keywords are plain identifiers)
+ESCAPED = "escaped"  # escaped identifier; value holds the unescaped name
+SYMBOL = "symbol"    # one of ``( ) ; , .``
+EOF = "eof"
+
+_SYMBOLS = frozenset("();,.")
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_ANNOTATION_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)=(\S+)")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+@dataclass(frozen=True)
+class Comment:
+    """A ``//`` comment with its source position (1-based)."""
+
+    text: str
+    line: int
+    column: int = 0
+
+    def annotations(self) -> dict[str, str]:
+        """``key=value`` pairs, or ``{}`` unless the *whole* comment is pairs.
+
+        A comment is an annotation only when every whitespace-separated
+        token matches ``key=value``; free text that happens to contain
+        an ``=`` (tool banners, prose) is never mined for pairs.
+        """
+        tokens = self.text.split()
+        if not tokens:
+            return {}
+        matches = [_ANNOTATION_RE.fullmatch(token) for token in tokens]
+        if not all(matches):
+            return {}
+        return {match.group(1): match.group(2) for match in matches}
+
+
+def tokenize(source: str) -> tuple[list[Token], list[Comment]]:
+    """Lex ``source`` into tokens plus the comment stream.
+
+    Raises :class:`VerilogError` on characters outside the subset or on
+    malformed escaped identifiers.
+    """
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    line, line_start = 1, 0
+    pos, length = 0, len(source)
+    while pos < length:
+        char = source[pos]
+        column = pos - line_start + 1
+        if char == "\n":
+            line += 1
+            line_start = pos + 1
+            pos += 1
+        elif char in " \t\r":
+            pos += 1
+        elif source.startswith("//", pos):
+            end = source.find("\n", pos)
+            end = length if end < 0 else end
+            comments.append(Comment(source[pos + 2:end].strip(), line, column))
+            pos = end
+        elif char == "\\":
+            end = pos + 1
+            while end < length and not source[end].isspace():
+                end += 1
+            if end == pos + 1:
+                raise VerilogError("malformed escaped identifier: '\\' must "
+                                   "be followed by non-whitespace characters",
+                                   line, column)
+            if end >= length:
+                raise VerilogError("unterminated escaped identifier "
+                                   f"{source[pos:end]!r} (escaped identifiers "
+                                   "end with whitespace)", line, column)
+            tokens.append(Token(ESCAPED, source[pos + 1:end], line, column))
+            pos = end
+        elif char in _SYMBOLS:
+            tokens.append(Token(SYMBOL, char, line, column))
+            pos += 1
+        else:
+            match = _ID_RE.match(source, pos)
+            if match is None:
+                raise VerilogError(f"unexpected character {char!r}",
+                                   line, column)
+            tokens.append(Token(ID, match.group(0), line, column))
+            pos = match.end()
+    tokens.append(Token(EOF, "", line, length - line_start + 1))
+    return tokens, comments

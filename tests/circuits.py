@@ -1,59 +1,33 @@
-"""Shared synchronous test circuits for the de-synchronization tests."""
+"""Shared synchronous test circuits for the de-synchronization tests.
+
+The regular parameterized shapes delegate to the corpus generators
+(:mod:`repro.corpus`), so the unit tests and the benchmark corpus draw
+from one construction path; the irregular feedback circuits stay
+hand-coded.  :func:`all_circuits` enumerates every shape for
+property-style sweeps (e.g. the Verilog round-trip test).
+"""
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
+from repro.corpus import counter, lfsr, linear_pipeline
 from repro.netlist import Netlist
 
 
 def lfsr3(name: str = "lfsr") -> Netlist:
     """3-bit XNOR LFSR: one strongly-connected register loop."""
-    netlist = Netlist(name)
-    clk = netlist.add_input("clk", clock=True)
-    q0, q1, q2 = netlist.net("q0"), netlist.net("q1"), netlist.net("q2")
-    feedback = netlist.add_gate("XNOR2", [q1, q2], name="fb")
-    netlist.add("DFF", name="r0/b", D=feedback, CK=clk, Q=q0)
-    netlist.add("DFF", name="r1/b", D=q0, CK=clk, Q=q1)
-    netlist.add("DFF", name="r2/b", D=q1, CK=clk, Q=q2)
-    netlist.add_output("q2")
-    netlist.validate()
-    return netlist
+    return lfsr(3, name=name)
 
 
 def ripple_counter(bits: int = 4, name: str = "counter") -> Netlist:
     """Synchronous binary counter (one register bank, self feedback)."""
-    netlist = Netlist(name)
-    clk = netlist.add_input("clk", clock=True)
-    outputs = [netlist.net(f"q[{i}]") for i in range(bits)]
-    carry = None
-    for i in range(bits):
-        if i == 0:
-            next_bit = netlist.add_gate("INV", [outputs[0]], name=f"inv{i}")
-            carry = outputs[0]
-        else:
-            next_bit = netlist.add_gate("XOR2", [outputs[i], carry],
-                                        name=f"x{i}")
-            if i < bits - 1:
-                carry = netlist.add_gate("AND2", [carry, outputs[i]],
-                                         name=f"c{i}")
-        netlist.add("DFF", name=f"cnt/b{i}", D=next_bit, CK=clk, Q=outputs[i])
-    netlist.add_output(outputs[-1].name)
-    netlist.validate()
-    return netlist
+    return counter(bits, name=name)
 
 
 def inverter_pipeline(stages: int = 4, name: str = "pipe") -> Netlist:
     """Linear pipeline: input -> INV -> FF -> INV -> FF -> ..."""
-    netlist = Netlist(name)
-    clk = netlist.add_input("clk", clock=True)
-    previous = netlist.add_input("din")
-    for i in range(stages):
-        inverted = netlist.add_gate("INV", [previous], name=f"s{i}_inv")
-        stage = netlist.add("DFF", name=f"st{i}/b", D=inverted, CK=clk,
-                            Q=f"p{i}")
-        previous = stage.output_net()
-    netlist.add_output(previous.name)
-    netlist.validate()
-    return netlist
+    return linear_pipeline(depth=stages, name=name)
 
 
 def mixed_feedback(name: str = "mixed") -> Netlist:
@@ -86,3 +60,14 @@ def wide_register_exchange(name: str = "xchg") -> Netlist:
     netlist.add_output(b_bits[1].name)
     netlist.validate()
     return netlist
+
+
+def all_circuits() -> dict[str, Callable[[], Netlist]]:
+    """Every shared circuit builder, keyed by a stable id."""
+    return {
+        "lfsr3": lfsr3,
+        "ripple_counter": ripple_counter,
+        "inverter_pipeline": inverter_pipeline,
+        "mixed_feedback": mixed_feedback,
+        "wide_register_exchange": wide_register_exchange,
+    }
