@@ -1,0 +1,99 @@
+"""Event-simulator throughput — interpreter vs. compiled backend.
+
+Runs every corpus configuration under seeded random per-cycle stimulus
+on both event-driven engines and reports events/second plus the
+compiled engine's speedup.  The engines must also *agree exactly*
+(capture streams, toggle counts, event counts) on every run — this
+bench doubles as a differential check at realistic workload sizes.
+
+The speedup floor asserted here (>= 3x on the two largest
+configurations) is what makes corpus-wide randomized verification
+affordable in CI: the differential harness and the flow-equivalence
+sweeps inherit it through the ``backend="compiled"`` selection.
+
+Artifacts: ``benchmarks/out/BENCH_sim.txt`` (table) and
+``benchmarks/out/BENCH_sim.json`` (machine-readable series for the
+perf trajectory, uploaded per CI run).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_sim_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import out_path, write_out
+from repro.corpus import iter_corpus
+from repro.report import TextTable, write_json
+from repro.testing import DEFAULT_SEED, drive_clocked, random_stimulus
+
+CYCLES = 256
+REPEATS = 3
+#: The two largest configurations carry the acceptance floor.
+SPEEDUP_FLOOR = {"mult4": 3.0, "pipe8x2": 3.0}
+
+COLUMNS = ["name", "generator", "instances", "nets", "cycles", "events",
+           "event_ms", "compiled_ms", "event_eps", "compiled_eps",
+           "speedup"]
+
+
+def _sweep() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for spec, netlist in iter_corpus():
+        stimulus = random_stimulus(netlist, CYCLES, seed=DEFAULT_SEED)
+        best: dict[str, float] = {}
+        sims: dict[str, object] = {}
+        for backend in ("event", "compiled"):
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                sim = drive_clocked(netlist, backend, stimulus)
+                seconds = time.perf_counter() - start
+                if backend not in best or seconds < best[backend]:
+                    best[backend] = seconds
+                sims[backend] = sim
+        event_sim, compiled_sim = sims["event"], sims["compiled"]
+        # The bench is only meaningful if the engines agree exactly.
+        assert event_sim.n_events == compiled_sim.n_events
+        assert dict(event_sim.captures) == dict(compiled_sim.captures)
+        assert dict(event_sim.toggle_counts) == \
+            dict(compiled_sim.toggle_counts)
+        events = event_sim.n_events
+        rows.append([
+            spec.name, spec.generator, len(netlist), len(netlist.nets),
+            CYCLES, events,
+            best["event"] * 1e3, best["compiled"] * 1e3,
+            events / best["event"], events / best["compiled"],
+            best["event"] / best["compiled"],
+        ])
+    return rows
+
+
+@pytest.mark.benchmark(group="sim-throughput")
+def test_bench_sim_throughput(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = TextTable("BENCH sim - event-driven throughput, "
+                      "interpreter vs compiled", COLUMNS)
+    for row in rows:
+        head, values = row[:6], row[6:]
+        table.add_row(*head, *(f"{value:,.0f}" if value >= 100 else
+                               f"{value:.2f}" for value in values))
+    table.print()
+    write_out("BENCH_sim.txt", table.render())
+    write_json(out_path("BENCH_sim.json"), COLUMNS, rows)
+
+    assert len(rows) >= 10
+    by_name = {row[0]: dict(zip(COLUMNS, row)) for row in rows}
+    for name, floor in SPEEDUP_FLOOR.items():
+        assert by_name[name]["speedup"] >= floor, (
+            f"{name}: compiled speedup {by_name[name]['speedup']:.2f}x "
+            f"under the {floor}x floor")
+    # The compiled engine must never come close to a regression anywhere.
+    # 1.5x leaves headroom for wall-clock noise on small configs (the
+    # ratio itself is fairly noise-robust: both engines are best-of-3 on
+    # the same machine) while still catching any real slowdown — every
+    # config measures 3x+ on an idle machine.
+    for name, data in by_name.items():
+        assert data["speedup"] > 1.5, f"{name}: {data['speedup']:.2f}x"

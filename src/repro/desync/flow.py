@@ -151,8 +151,8 @@ class DesyncResult:
                            controller_delay=controller_delay,
                            banks=banks, adjacency=adjacency)
 
-    def verify_hold(self, rounds: int = 10,
-                    use_model: bool = True) -> list[HoldCheck]:
+    def verify_hold(self, rounds: int = 10, use_model: bool = True,
+                    backend: str = "event") -> list[HoldCheck]:
         """Check the overlap-mode relative-timing (hold) conditions.
 
         For every inter-cluster edge ``g -> p``, measures the worst
@@ -163,9 +163,10 @@ class DesyncResult:
         fast, conservative screening — the model's eager schedule can
         launch earlier than the gate-level fabric, so negative margins
         here are warnings); otherwise the gate-level fabric itself is
-        simulated and the realized local-clock edges are compared.  The
-        paper's flow discharges these checks with commercial timing
-        signoff; the definitive functional check in this reproduction is
+        simulated (by the event-driven engine named ``backend``) and
+        the realized local-clock edges are compared.  The paper's flow
+        discharges these checks with commercial timing signoff; the
+        definitive functional check in this reproduction is
         :func:`repro.equiv.check_flow_equivalence`.
         """
         latch_delay = self.sync_netlist.library["LATCH_H"].delay
@@ -175,10 +176,10 @@ class DesyncResult:
                      for bank in self.clustering.clusters}
         else:
             from repro.desync.network import clock_net_name
-            from repro.sim.simulator import EventSimulator
+            from repro.sim.backends import make_simulator
             nets = [clock_net_name(bank)
                     for bank in self.clustering.clusters]
-            sim = EventSimulator(self.desync_netlist, record=nets)
+            sim = make_simulator(self.desync_netlist, backend, record=nets)
             horizon = (rounds + 4) * max(
                 1.0, self.desync_cycle_time().cycle_time)
             sim.run(horizon)

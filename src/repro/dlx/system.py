@@ -24,8 +24,8 @@ from repro.dlx.cpu import DlxCore
 from repro.dlx.golden import CommitRecord, GoldenDlx, GoldenResult
 from repro.dlx.isa import NOP
 from repro.netlist.core import Netlist
+from repro.sim.backends import make_simulator
 from repro.sim.logic import int_to_bits
-from repro.sim.simulator import EventSimulator
 from repro.sim.sync import CycleSimulator
 from repro.utils.errors import SimulationError
 
@@ -135,9 +135,10 @@ class DlxSystem:
 
     # ------------------------------------------------------------------
     def run_desync(self, desync_netlist: Netlist, cycle_time_ps: float,
-                   max_cycles: int = 400,
-                   slice_ps: float = 150.0) -> RunResult:
-        """Run on the de-synchronized netlist with the event simulator.
+                   max_cycles: int = 400, slice_ps: float = 150.0,
+                   backend: str = "event") -> RunResult:
+        """Run on the de-synchronized netlist with an event-driven
+        engine (``backend`` selects interpreter or compiled).
 
         Memory is serviced every ``slice_ps``; stores commit when the
         write-enable output is observed asserted with a changed
@@ -150,7 +151,8 @@ class DlxSystem:
             initial[f"imem_data[{i}]"] = bit
         for i in range(width):
             initial[f"dmem_rdata[{i}]"] = 0
-        sim = EventSimulator(desync_netlist, initial_inputs=initial)
+        sim = make_simulator(desync_netlist, backend,
+                             initial_inputs=initial)
 
         def drive(base: str, value: int, bits: int, time: float) -> None:
             for i, bit in enumerate(int_to_bits(value, bits)):

@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 from repro.desync.flow import DesyncResult
 from repro.desync.latchify import master_name
 from repro.netlist.core import Netlist
+from repro.sim.backends import DEFAULT_BACKEND, make_simulator
 from repro.sim.logic import Value
-from repro.sim.simulator import EventSimulator
 from repro.sim.sync import CycleSimulator
 from repro.utils.errors import FlowEquivalenceError
 
@@ -72,56 +72,135 @@ def reference_streams(netlist: Netlist, cycles: int,
     return {name: list(values) for name, values in sim.captures.items()}
 
 
+def _input_fed_masters(netlist: Netlist, masters: dict[str, str]) -> list[str]:
+    """Master latches whose data cone reaches a primary data input.
+
+    These are the registers whose captures pace the environment when the
+    stimulus varies per cycle: a new input vector may be presented only
+    once every one of them has consumed the previous vector.
+    """
+    fed: list[str] = []
+    for master in masters:
+        inst = netlist.instances.get(master)
+        if inst is None:
+            continue
+        seen: set[str] = set()
+        stack = [inst.data_net()]
+        while stack:
+            net = stack.pop()
+            if net.name in seen:
+                continue
+            seen.add(net.name)
+            if net.is_input_port and net.name != netlist.clock:
+                fed.append(master)
+                break
+            driver = net.driver_instance()
+            if driver is not None and driver.is_combinational:
+                stack.extend(driver.input_nets())
+    return sorted(fed)
+
+
 def desync_streams(result: DesyncResult, cycles: int,
                    inputs: dict[str, Value] | None = None,
+                   inputs_per_cycle: list[dict[str, Value]] | None = None,
                    time_limit: float | None = None,
+                   backend: str = DEFAULT_BACKEND,
                    ) -> dict[str, list[Value]]:
     """Per-register capture streams from the de-synchronized circuit.
 
-    Runs the event-driven simulator on the controller fabric until every
-    master latch has captured ``cycles`` values (or ``time_limit`` ps
-    elapse, which raises — a stalled handshake is a real failure).
-    Streams are keyed by the *original flip-flop name*.
+    Runs the event-driven simulator (the engine named by ``backend``) on
+    the controller fabric until every master latch has captured
+    ``cycles`` values (or ``time_limit`` ps elapse, which raises — a
+    stalled handshake is a real failure).  Streams are keyed by the
+    *original flip-flop name*.
+
+    ``inputs_per_cycle`` supplies a varying stimulus with the same
+    alignment as :func:`reference_streams`: vector k is the environment
+    of cycle k, i.e. the value the input-fed registers store at their
+    k-th capture.  The de-synchronized circuit has no global clock, so
+    the environment is paced observationally — vector 0 is present
+    during reset, and vector k is driven as soon as every input-fed
+    master has completed its k-th capture (self-timed input stages run
+    ahead of deeper ones, which is why only the input-fed registers
+    gate the stepping).  This models the paper's environment assumption
+    that new data arrives early in each local cycle.
     """
-    sim = EventSimulator(result.desync_netlist,
-                         initial_inputs=dict(inputs or {}))
+    initial = dict(inputs or {})
+    if inputs_per_cycle:
+        initial.update(inputs_per_cycle[0])
+    sim = make_simulator(result.desync_netlist, backend,
+                         initial_inputs=initial)
     ff_names = [inst.name for inst in result.sync_netlist.dff_instances()]
     masters = {master_name(ff): ff for ff in ff_names}
     period = result.desync_cycle_time().cycle_time
     horizon = time_limit if time_limit is not None else \
         max(1.0, period) * (cycles + 8) * 2
-    chunk = max(1.0, period) * 2
+    feeds: list[str] = []
+    # Registers-only circuits produce all-empty vectors; there is then
+    # nothing to pace and the cheap polling granularity suffices.
+    if inputs_per_cycle and any(vector for vector in inputs_per_cycle[1:]):
+        feeds = _input_fed_masters(result.desync_netlist, masters) \
+            or sorted(masters)
+        # Poll at gate-delay granularity: an input-fed bank free-runs at
+        # its *local* cycle (often far shorter than the fabric's
+        # steady-state period while the pipeline slack fills), and each
+        # vector must be driven within a fraction of that local cycle
+        # after the capture that frees it.
+        max_cell_delay = max(
+            cell.delay
+            for cell in result.desync_netlist.library.cells.values())
+        chunk = max(1.0, min(period / 8.0, max_cell_delay))
+    else:
+        chunk = max(1.0, period) * 2
+    next_vector = 1
     now = 0.0
     while now < horizon:
         now = min(horizon, now + chunk)
         sim.run(now)
-        if all(len(sim.captures.get(m, [])) >= cycles for m in masters):
+        captures = sim.captures
+        if feeds and next_vector < min(cycles, len(inputs_per_cycle)):
+            if all(len(captures.get(m, [])) >= next_vector for m in feeds):
+                for port, value in inputs_per_cycle[next_vector].items():
+                    sim.set_input(port, value)
+                next_vector += 1
+        if all(len(captures.get(m, [])) >= cycles for m in masters):
             break
-    else:
-        pass
+    captures = sim.captures
     shortfall = {m for m in masters
-                 if len(sim.captures.get(m, [])) < cycles}
+                 if len(captures.get(m, [])) < cycles}
     if shortfall:
         raise FlowEquivalenceError(
             f"de-synchronized circuit stalled: {sorted(shortfall)[:5]} "
             f"captured fewer than {cycles} values within {horizon:.0f} ps")
     return {
-        masters[m]: [capture.value for capture in sim.captures[m][:cycles]]
+        masters[m]: [capture.value for capture in captures[m][:cycles]]
         for m in masters
     }
 
 
 def check_flow_equivalence(result: DesyncResult, cycles: int = 20,
                            inputs: dict[str, Value] | None = None,
+                           inputs_per_cycle: list[dict[str, Value]] | None = None,
+                           backend: str = DEFAULT_BACKEND,
                            ) -> FlowEquivalenceReport:
     """Compare the two circuits over ``cycles`` register captures.
 
     ``inputs`` drives the primary data inputs with constant values in
     both simulations (the circuits' dynamics then come from their state
-    evolution, which is what flow equivalence constrains).
+    evolution, which is what flow equivalence constrains);
+    ``inputs_per_cycle`` overlays a varying stimulus, vector k landing
+    in cycle k on both sides.  ``backend`` selects the event-driven
+    engine that runs the de-synchronized fabric.
     """
-    sync = reference_streams(result.sync_netlist, cycles, inputs=inputs)
-    desync = desync_streams(result, cycles, inputs=inputs)
+    if inputs_per_cycle is not None and len(inputs_per_cycle) < cycles:
+        raise FlowEquivalenceError(
+            f"inputs_per_cycle has {len(inputs_per_cycle)} vectors but "
+            f"{cycles} cycles are compared")
+    sync = reference_streams(result.sync_netlist, cycles, inputs=inputs,
+                             inputs_per_cycle=inputs_per_cycle)
+    desync = desync_streams(result, cycles, inputs=inputs,
+                            inputs_per_cycle=inputs_per_cycle,
+                            backend=backend)
     divergences: list[Divergence] = []
     for register, sync_stream in sorted(sync.items()):
         desync_stream = desync.get(register)

@@ -1,5 +1,13 @@
-"""Logic simulation: event-driven, cycle-accurate, and waveforms."""
+"""Logic simulation: event-driven (interpreted and compiled),
+cycle-accurate, and waveforms."""
 
+from repro.sim.backends import (
+    DEFAULT_BACKEND,
+    EVENT_BACKENDS,
+    backend_names,
+    make_simulator,
+)
+from repro.sim.compiled import CompiledSimulator
 from repro.sim.events import EventQueue
 from repro.sim.logic import Value, bits_to_int, int_to_bits, to_char
 from repro.sim.simulator import (
@@ -18,6 +26,11 @@ __all__ = [
     "int_to_bits",
     "to_char",
     "Capture",
+    "CompiledSimulator",
+    "DEFAULT_BACKEND",
+    "EVENT_BACKENDS",
+    "backend_names",
+    "make_simulator",
     "EventSimulator",
     "SimStats",
     "settle_combinational",

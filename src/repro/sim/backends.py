@@ -1,0 +1,58 @@
+"""Simulator backend registry.
+
+Two engines implement the event-driven simulation contract (identical
+constructor and observation surface, identical event-for-event
+behaviour): the interpreter-style
+:class:`~repro.sim.simulator.EventSimulator` and the slot-compiled
+:class:`~repro.sim.compiled.CompiledSimulator`.  Code that runs
+de-synchronized fabrics selects between them by name through
+:func:`make_simulator`, so callers (flow-equivalence checking, hold
+verification, benchmarks, the differential harness) stay engine-agnostic.
+
+The cycle-accurate :class:`~repro.sim.sync.CycleSimulator` is *not* in
+this registry: it has a per-cycle stepping interface and is only
+meaningful for globally-clocked netlists.  The differential harness in
+:mod:`repro.testing` is what relates it to the event engines.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.core import Netlist
+from repro.sim.compiled import CompiledSimulator
+from repro.sim.simulator import EventSimulator
+from repro.utils.errors import SimulationError
+
+#: Name -> class for the interchangeable event-driven engines.
+EVENT_BACKENDS: dict[str, type] = {
+    "event": EventSimulator,
+    "compiled": CompiledSimulator,
+}
+
+#: The project-wide default engine.  Deliberately the interpreter: it
+#: is the reference semantics, so anything not explicitly opting into
+#: speed (benchmarks, corpus sweeps pass ``backend="compiled"``) runs
+#: on the engine the compiled one is verified against.  A named
+#: constant so flipping that policy stays a one-line change.
+DEFAULT_BACKEND = "event"
+
+
+def backend_names() -> list[str]:
+    """Registered event-backend names, sorted."""
+    return sorted(EVENT_BACKENDS)
+
+
+def make_simulator(netlist: Netlist, backend: str = DEFAULT_BACKEND,
+                   **kwargs) -> EventSimulator | CompiledSimulator:
+    """Instantiate the event-driven engine called ``backend``.
+
+    ``kwargs`` are forwarded to the engine constructor (``record``,
+    ``record_all``, ``record_energy``, ``initial_inputs``).  Raises
+    :class:`SimulationError` for an unknown backend name.
+    """
+    try:
+        cls = EVENT_BACKENDS[backend]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulator backend {backend!r} "
+            f"(have: {', '.join(backend_names())})") from None
+    return cls(netlist, **kwargs)

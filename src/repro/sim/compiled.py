@@ -1,0 +1,593 @@
+"""Compiled event-driven simulator.
+
+:class:`CompiledSimulator` is a drop-in replacement for
+:class:`~repro.sim.simulator.EventSimulator` — same constructor, same
+``set_input``/``add_clock``/``run``/``captures``/``toggle_counts``/
+``history`` surface, and **event-for-event identical behaviour**: the
+same capture streams (times included), net values, toggle counts and
+event counts on any netlist and stimulus.  What changes is the inner
+loop.
+
+The interpreter-style simulator resolves, for every event, the net name
+to a ``Net`` object, the sink list to ``(Instance, pin)`` pairs, the
+cell kind to an ``elif`` chain, and every pin read to two dictionary
+lookups.  ``CompiledSimulator`` performs that resolution **once**, at
+construction:
+
+* every net becomes an integer **slot** into flat lists (values, toggle
+  counters, history, per-toggle switching energy);
+* every instance is compiled into a small closure specialised for its
+  cell class (and, for sequential cells, for *which pin changed*) whose
+  free variables are the already-resolved slots, the cell delay and the
+  truth-table mask — no per-event name resolution or kind dispatch
+  survives into the run loop;
+* every net's sink list becomes a tuple of those closures, so applying
+  an event is: index two lists, compare, call the closures.
+
+Events are ``(time, sequence, slot, value)`` tuples in a plain binary
+heap.  The sequence numbers are allocated in the same order as the
+interpreter's pushes, which is what makes the two engines tie-break
+simultaneous events identically and therefore agree exactly — the
+property the differential harness in :mod:`repro.testing` asserts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from repro.netlist.cells import (
+    CellKind,
+    PIN_D,
+    PIN_ENABLE,
+    PIN_RESET_N,
+)
+from repro.netlist.core import Instance, Netlist
+from repro.sim.logic import Value
+from repro.sim.simulator import Capture, SimStats
+from repro.utils.errors import SimulationError
+
+_STATEFUL_KINDS = (CellKind.CELEMENT, CellKind.ACK, CellKind.REQ,
+                   CellKind.ASYM)
+
+
+# ----------------------------------------------------------------------
+# per-cell closure factories
+#
+# Every factory returns an ``ev(old, now)`` callable: ``old`` is the
+# previous value of the net that just changed (the sequential cells need
+# it for edge detection), ``now`` the current simulation time.  All
+# state the closure touches — the value list, the heap, the sequence
+# counter, the instance's stored-state cell — is captured by reference.
+# ----------------------------------------------------------------------
+
+def _comb_eval(vals, heap, seq, cell, in_slots, out_slot):
+    delay = cell.delay
+    tt = cell.tt
+    heappush = heapq.heappush
+    if len(in_slots) == 1:
+        s0 = in_slots[0]
+        v0, v1 = tt & 1, (tt >> 1) & 1
+        x_out = v0 if v0 == v1 else None
+
+        def ev(old, now):
+            b = vals[s0]
+            heappush(heap, (now + delay, next(seq), out_slot,
+                            x_out if b is None else (v1 if b else v0)))
+        return ev
+    eval_ternary = cell.eval_ternary
+    if len(in_slots) == 2:
+        s0, s1 = in_slots
+
+        def ev(old, now):
+            a = vals[s0]
+            b = vals[s1]
+            if a is None or b is None:
+                value = eval_ternary((a, b))
+            else:
+                value = (tt >> (a + b + b)) & 1
+            heappush(heap, (now + delay, next(seq), out_slot, value))
+        return ev
+    slots = tuple(in_slots)
+
+    def ev(old, now):
+        combo = 0
+        for j, s in enumerate(slots):
+            b = vals[s]
+            if b is None:
+                heappush(heap, (now + delay, next(seq), out_slot,
+                                eval_ternary([vals[x] for x in slots])))
+                return
+            if b:
+                combo |= 1 << j
+        heappush(heap, (now + delay, next(seq), out_slot, (tt >> combo) & 1))
+    return ev
+
+
+def _celement_eval(vals, heap, seq, state, i, cell, in_slots, out_slot):
+    delay = cell.delay
+    heappush = heapq.heappush
+    slots = tuple(in_slots)
+
+    def ev(old, now):
+        all_one = True
+        all_zero = True
+        for s in slots:
+            b = vals[s]
+            if b != 1:
+                all_one = False
+            if b != 0:
+                all_zero = False
+        if all_one:
+            new = 1
+        elif all_zero:
+            new = 0
+        else:
+            return  # hold
+        if new != state[i]:
+            state[i] = new
+            heappush(heap, (now + delay, next(seq), out_slot, new))
+    return ev
+
+
+def _ack_eval(vals, heap, seq, state, i, cell, p_slot, r_slot, s_slot,
+              out_slot):
+    delay = cell.delay
+    heappush = heapq.heappush
+
+    def ev(old, now):
+        pred = vals[p_slot]
+        if pred == 0 and vals[s_slot] == 0:
+            new = 1
+        elif pred == 1 and vals[r_slot] == 1:
+            new = 0
+        else:
+            return  # hold
+        if new != state[i]:
+            state[i] = new
+            heappush(heap, (now + delay, next(seq), out_slot, new))
+    return ev
+
+
+def _req_eval(vals, heap, seq, state, i, cell, r_slot, g_slot, out_slot):
+    delay = cell.delay
+    heappush = heapq.heappush
+
+    def ev(old, now):
+        request = vals[r_slot]
+        if request == 1:
+            new = 1
+        elif request == 0 and vals[g_slot] == 1:
+            new = 0
+        else:
+            return  # hold
+        if new != state[i]:
+            state[i] = new
+            heappush(heap, (now + delay, next(seq), out_slot, new))
+    return ev
+
+
+def _asym_eval(vals, heap, seq, state, i, cell, r_slot, a_slot, out_slot):
+    delay = cell.delay
+    heappush = heapq.heappush
+
+    def ev(old, now):
+        request = vals[r_slot]
+        if request == 0:
+            new = 0
+        elif request == 1 and vals[a_slot] == 1:
+            new = 1
+        else:
+            return  # hold
+        if new != state[i]:
+            state[i] = new
+            heappush(heap, (now + delay, next(seq), out_slot, new))
+    return ev
+
+
+def _dff_clock_eval(vals, heap, seq, state, i, caps, name, cell,
+                    d_slot, ck_slot, rn_slot, out_slot):
+    delay = cell.delay
+    heappush = heapq.heappush
+
+    def ev(old, now):
+        if rn_slot >= 0 and vals[rn_slot] == 0:
+            if state[i] != 0:
+                state[i] = 0
+                heappush(heap, (now + delay, next(seq), out_slot, 0))
+            return
+        new_clock = vals[ck_slot]
+        if old == 0 and new_clock == 1:
+            data = vals[d_slot]
+            caps.append(Capture(now, data))
+            if data != state[i]:
+                state[i] = data
+                heappush(heap, (now + delay, next(seq), out_slot, data))
+        elif new_clock is None:
+            raise SimulationError(f"clock of {name} became X at t={now}")
+    return ev
+
+
+def _seq_reset_eval(vals, heap, seq, state, i, cell, rn_slot, out_slot):
+    """A DFF data/reset pin changed: only the asynchronous clear can act."""
+    delay = cell.delay
+    heappush = heapq.heappush
+
+    def ev(old, now):
+        if vals[rn_slot] == 0 and state[i] != 0:
+            state[i] = 0
+            heappush(heap, (now + delay, next(seq), out_slot, 0))
+    return ev
+
+
+def _latch_clock_eval(vals, heap, seq, state, i, caps, name, cell,
+                      transparent, d_slot, en_slot, rn_slot, out_slot):
+    delay = cell.delay
+    heappush = heapq.heappush
+
+    def ev(old, now):
+        if rn_slot >= 0 and vals[rn_slot] == 0:
+            if state[i] != 0:
+                state[i] = 0
+                heappush(heap, (now + delay, next(seq), out_slot, 0))
+            return
+        enable = vals[en_slot]
+        if enable is None:
+            raise SimulationError(
+                f"latch enable of {name} became X at t={now}")
+        if transparent:
+            closing = old == 1 and enable == 0
+        else:
+            closing = old == 0 and enable == 1
+        if closing:
+            captured = vals[d_slot]
+            caps.append(Capture(now, captured))
+            if captured != state[i]:
+                state[i] = captured
+                heappush(heap, (now + delay, next(seq), out_slot, captured))
+            return
+        if enable == transparent:
+            data = vals[d_slot]
+            if data != state[i]:
+                state[i] = data
+                heappush(heap, (now + delay, next(seq), out_slot, data))
+    return ev
+
+
+def _latch_data_eval(vals, heap, seq, state, i, cell, transparent,
+                     d_slot, en_slot, rn_slot, out_slot):
+    delay = cell.delay
+    heappush = heapq.heappush
+
+    def ev(old, now):
+        if rn_slot >= 0 and vals[rn_slot] == 0:
+            if state[i] != 0:
+                state[i] = 0
+                heappush(heap, (now + delay, next(seq), out_slot, 0))
+            return
+        if vals[en_slot] == transparent:
+            data = vals[d_slot]
+            if data != state[i]:
+                state[i] = data
+                heappush(heap, (now + delay, next(seq), out_slot, data))
+    return ev
+
+
+class CompiledSimulator:
+    """Event-driven simulator compiled to slot-indexed arrays.
+
+    Drop-in for :class:`~repro.sim.simulator.EventSimulator`; see the
+    module docstring for what "compiled" buys and why the two engines
+    agree event-for-event.
+
+    Args:
+        netlist: the circuit to simulate (validated).
+        record: names of nets whose full value-change history to keep.
+        record_all: keep history for every net (memory-heavy).
+        record_energy: append ``(time, energy fJ)`` per real transition.
+        initial_inputs: input-port values present during reset (settle
+            at t = 0 with no events and no toggles).
+    """
+
+    def __init__(self, netlist: Netlist, record: list[str] | None = None,
+                 record_all: bool = False, record_energy: bool = False,
+                 initial_inputs: dict[str, Value] | None = None):
+        self.netlist = netlist
+        self.now = 0.0
+        self.n_events = 0
+        self.energy_events: list[tuple[float, float]] = []
+        names = list(netlist.nets)
+        self._names = names
+        slot_of = {name: index for index, name in enumerate(names)}
+        self._slot_of = slot_of
+        vals: list[Value] = [None] * len(names)
+        self._vals = vals
+        for port, value in (initial_inputs or {}).items():
+            net = netlist.nets.get(port)
+            if net is None or not net.is_input_port:
+                raise SimulationError(f"{port} is not an input port")
+            vals[slot_of[port]] = value
+        self._toggles = [0] * len(names)
+        self._hist: list[list[tuple[float, Value]]] = [[] for _ in names]
+        self._rec = bytearray(len(names))
+        self._record_any = record_all or bool(record)
+        if record_all:
+            for index in range(len(names)):
+                self._rec[index] = 1
+        else:
+            for name in record or []:
+                slot = slot_of.get(name)
+                if slot is not None:
+                    self._rec[slot] = 1
+        if record_energy:
+            energy: list[float | None] = [None] * len(names)
+            for net in netlist.nets.values():
+                driver = net.driver_instance()
+                if driver is not None:
+                    energy[slot_of[net.name]] = \
+                        netlist.library.switching_energy(driver.cell,
+                                                         net.fanout)
+            self._energy: list[float | None] | None = energy
+        else:
+            self._energy = None
+
+        self._heap: list[tuple[float, int, int, Value]] = []
+        self._seq = count()
+        # Stored output value per stateful instance, slot-indexed.
+        self._state: list[int] = []
+        self._state_idx: dict[str, int] = {}
+        for inst in netlist.instances.values():
+            if inst.is_sequential or inst.is_celement:
+                self._state_idx[inst.name] = len(self._state)
+                self._state.append(inst.init)
+        self._caps: dict[str, list[Capture]] = {
+            inst.name: [] for inst in netlist.instances.values()
+            if inst.is_sequential}
+        self._sinks: list[tuple] = self._compile()
+        self._settle_reset()
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _pin_slot(self, inst: Instance, pin: str) -> int:
+        return self._slot_of[inst.pins[pin].name]
+
+    def _compile(self) -> list[tuple]:
+        """Build the per-pin closures and resolve sink lists to slots."""
+        vals, heap, seq = self._vals, self._heap, self._seq
+        state, state_idx = self._state, self._state_idx
+        # Pin-independent eval per instance; kept on self because the
+        # reset settle kicks the state-holding cells through it.
+        shared = self._shared_evals = {}
+        clock_fns: dict[str, object] = {}
+        data_fns: dict[str, object | None] = {}
+        for inst in self.netlist.instances.values():
+            cell = inst.cell
+            kind = cell.kind
+            out_slot = self._slot_of[inst.output_net().name]
+            if kind is CellKind.COMB:
+                in_slots = [self._pin_slot(inst, p) for p in cell.inputs]
+                shared[inst.name] = _comb_eval(vals, heap, seq, cell,
+                                               in_slots, out_slot)
+            elif kind is CellKind.CELEMENT:
+                i = state_idx[inst.name]
+                in_slots = [self._pin_slot(inst, p) for p in cell.inputs]
+                shared[inst.name] = _celement_eval(vals, heap, seq, state, i,
+                                                   cell, in_slots, out_slot)
+            elif kind is CellKind.ACK:
+                i = state_idx[inst.name]
+                shared[inst.name] = _ack_eval(
+                    vals, heap, seq, state, i, cell,
+                    self._pin_slot(inst, "P"), self._pin_slot(inst, "R"),
+                    self._pin_slot(inst, "S"), out_slot)
+            elif kind is CellKind.REQ:
+                i = state_idx[inst.name]
+                shared[inst.name] = _req_eval(
+                    vals, heap, seq, state, i, cell,
+                    self._pin_slot(inst, "R"), self._pin_slot(inst, "G"),
+                    out_slot)
+            elif kind is CellKind.ASYM:
+                i = state_idx[inst.name]
+                shared[inst.name] = _asym_eval(
+                    vals, heap, seq, state, i, cell,
+                    self._pin_slot(inst, "R"), self._pin_slot(inst, "A"),
+                    out_slot)
+            elif kind is CellKind.DFF:
+                i = state_idx[inst.name]
+                rn_slot = (self._pin_slot(inst, PIN_RESET_N)
+                           if PIN_RESET_N in cell.inputs else -1)
+                clock_fns[inst.name] = _dff_clock_eval(
+                    vals, heap, seq, state, i, self._caps[inst.name],
+                    inst.name, cell, self._pin_slot(inst, PIN_D),
+                    self._pin_slot(inst, cell.clock_pin), rn_slot, out_slot)
+                data_fns[inst.name] = (
+                    _seq_reset_eval(vals, heap, seq, state, i, cell,
+                                    rn_slot, out_slot)
+                    if rn_slot >= 0 else None)
+            elif kind in (CellKind.LATCH_HIGH, CellKind.LATCH_LOW):
+                i = state_idx[inst.name]
+                transparent = 1 if kind is CellKind.LATCH_HIGH else 0
+                rn_slot = (self._pin_slot(inst, PIN_RESET_N)
+                           if PIN_RESET_N in cell.inputs else -1)
+                d_slot = self._pin_slot(inst, PIN_D)
+                en_slot = self._pin_slot(inst, PIN_ENABLE)
+                clock_fns[inst.name] = _latch_clock_eval(
+                    vals, heap, seq, state, i, self._caps[inst.name],
+                    inst.name, cell, transparent, d_slot, en_slot, rn_slot,
+                    out_slot)
+                data_fns[inst.name] = _latch_data_eval(
+                    vals, heap, seq, state, i, cell, transparent, d_slot,
+                    en_slot, rn_slot, out_slot)
+            # TIE cells have no input pins and never re-evaluate.
+
+        sinks: list[tuple] = []
+        for name in self._names:
+            entries = []
+            for inst, pin in self.netlist.nets[name].sinks:
+                if inst.name in shared:
+                    entries.append(shared[inst.name])
+                elif pin == inst.cell.clock_pin and inst.name in clock_fns:
+                    entries.append(clock_fns[inst.name])
+                else:
+                    fn = data_fns.get(inst.name)
+                    if fn is not None:
+                        entries.append(fn)
+            sinks.append(tuple(entries))
+        return sinks
+
+    def _settle_reset(self) -> None:
+        """Settle the reset state instantly at t = 0.
+
+        Mirrors ``EventSimulator._initialize`` step for step (including
+        iteration order, which fixes the sequence numbers of the kick
+        events and thus tie-breaking parity with the interpreter).
+        """
+        vals, slot_of = self._vals, self._slot_of
+        state, state_idx = self._state, self._state_idx
+        for inst in self.netlist.instances.values():
+            if inst.is_sequential or inst.is_celement:
+                vals[slot_of[inst.output_net().name]] = \
+                    state[state_idx[inst.name]]
+            elif inst.cell.kind is CellKind.TIE:
+                vals[slot_of[inst.output_net().name]] = inst.cell.tt & 1
+        for inst in self.netlist.topo_order_comb_only():
+            if inst.cell.kind is CellKind.TIE:
+                continue
+            bits = [vals[slot_of[inst.pins[p].name]]
+                    for p in inst.cell.inputs]
+            vals[slot_of[inst.output_net().name]] = \
+                inst.cell.eval_ternary(bits)
+        if self._record_any:
+            for slot, name in enumerate(self._names):
+                value = vals[slot]
+                if value is not None and self._rec[slot]:
+                    self._hist[slot].append((0.0, value))
+        heap, seq = self._heap, self._seq
+        for inst in self.netlist.instances.values():
+            kind = inst.cell.kind
+            if kind in _STATEFUL_KINDS:
+                # Same hold/act logic as the sink closure; old unused.
+                self._shared_evals[inst.name](None, 0.0)
+            elif inst.is_sequential and kind in (CellKind.LATCH_HIGH,
+                                                 CellKind.LATCH_LOW):
+                transparent = 1 if kind is CellKind.LATCH_HIGH else 0
+                if vals[self._pin_slot(inst, PIN_ENABLE)] == transparent:
+                    data = vals[self._pin_slot(inst, PIN_D)]
+                    i = state_idx[inst.name]
+                    if data != state[i]:
+                        state[i] = data
+                        heapq.heappush(
+                            heap,
+                            (inst.cell.delay, next(seq),
+                             slot_of[inst.output_net().name], data))
+
+    # ------------------------------------------------------------------
+    # stimulus
+    # ------------------------------------------------------------------
+    def set_input(self, port: str, value: Value,
+                  time: float | None = None) -> None:
+        """Drive an input port to ``value`` at ``time`` (default: now)."""
+        net = self.netlist.nets.get(port)
+        if net is None or not net.is_input_port:
+            raise SimulationError(f"{port} is not an input port")
+        heapq.heappush(self._heap,
+                       (self.now if time is None else time,
+                        next(self._seq), self._slot_of[port], value))
+
+    def add_clock(self, port: str, period: float, until: float,
+                  first_edge: float | None = None,
+                  start_value: int = 0) -> None:
+        """Schedule a 50 %-duty clock on ``port`` up to time ``until``."""
+        half = period / 2.0
+        time = first_edge if first_edge is not None else half
+        self.set_input(port, start_value, 0.0)
+        value = 1 - start_value
+        while time <= until:
+            self.set_input(port, value, time)
+            value = 1 - value
+            time += half
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> SimStats:
+        """Process events up to and including time ``until``."""
+        heap = self._heap
+        vals = self._vals
+        sinks = self._sinks
+        toggles = self._toggles
+        rec = self._rec
+        hist = self._hist
+        energy = self._energy
+        energy_events = self.energy_events
+        record_any = self._record_any
+        heappop = heapq.heappop
+        n_events = self.n_events
+        now = self.now
+        while heap:
+            time = heap[0][0]
+            if time > until:
+                break
+            time, _, slot, value = heappop(heap)
+            if time > now:
+                now = time
+                self.now = time
+            old = vals[slot]
+            if value == old:
+                continue
+            vals[slot] = value
+            n_events += 1
+            if old is not None and value is not None:
+                toggles[slot] += 1
+                if energy is not None:
+                    joules = energy[slot]
+                    if joules is not None:
+                        energy_events.append((now, joules))
+            if record_any and rec[slot]:
+                hist[slot].append((now, value))
+            for fn in sinks[slot]:
+                fn(old, now)
+        if until > now:
+            now = until
+        self.now = now
+        self.n_events = n_events
+        return SimStats(end_time=now, n_events=n_events,
+                        toggles=self.toggle_counts)
+
+    def run_until_quiet(self, max_time: float) -> SimStats:
+        """Run until the event queue drains or ``max_time`` is reached."""
+        return self.run(max_time)
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def value(self, net: str) -> Value:
+        return self._vals[self._slot_of[net]]
+
+    def value_vector(self, base: str, width: int) -> int | None:
+        """Read nets ``base[0..width)`` as a little-endian integer."""
+        from repro.sim.logic import bits_to_int
+        return bits_to_int([self._vals[self._slot_of[f"{base}[{i}]"]]
+                            for i in range(width)])
+
+    @property
+    def values(self) -> dict[str, Value]:
+        """Current value of every net, keyed by name."""
+        return dict(zip(self._names, self._vals))
+
+    @property
+    def captures(self) -> dict[str, list[Capture]]:
+        """Capture streams of every register that captured, by instance."""
+        return {name: caps for name, caps in self._caps.items() if caps}
+
+    @property
+    def toggle_counts(self) -> dict[str, int]:
+        """Real-transition count of every net that toggled, by name."""
+        names = self._names
+        return {names[slot]: n for slot, n in enumerate(self._toggles) if n}
+
+    @property
+    def history(self) -> dict[str, list[tuple[float, Value]]]:
+        """Value-change history of the recorded nets, by name."""
+        names = self._names
+        return {names[slot]: h for slot, h in enumerate(self._hist) if h}

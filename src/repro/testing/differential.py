@@ -1,0 +1,386 @@
+"""Cross-backend differential testing.
+
+Three independent execution models can run the same synchronous
+netlist: the interpreter event simulator, the compiled event simulator
+(:mod:`repro.sim.compiled`) and the cycle-accurate simulator
+(:mod:`repro.sim.sync`).  They share no evaluation code paths beyond the
+cell truth tables, so agreement under randomized stimulus is strong
+evidence that each one implements the intended semantics — the
+observational analogue of checking a refinement relation between
+execution models (cf. Beillahi et al., *Automated Synthesis of
+Asynchronizations*, which validates sync-to-async transformations the
+same way: by differencing behaviours against the synchronous original).
+
+The harness:
+
+* generates a seeded per-cycle stimulus (:mod:`repro.testing.stimulus`);
+* runs every requested backend on it, driving the event engines with an
+  explicit clock whose period comes from static timing analysis (so
+  every cycle fully settles, making the engines cycle-comparable);
+* compares **capture streams** (per register, the flow-equivalence
+  observable), **final register state** and **register toggle counts**
+  across all backends — plus, between the two event engines, the full
+  event-level observables (every net value, every toggle, the event
+  count, capture *times*), which must match exactly;
+* on disagreement, **minimizes** the failing stimulus to its shortest
+  prefix by binary search, so the report points at the first cycle any
+  two backends part ways.
+
+Backends are pluggable: a runner is any callable
+``(netlist, stimulus) -> BackendRun``, so an experimental engine can be
+differentially tested against the reference ones by passing it in
+``runners`` — which is also how the harness's own failure path is
+tested.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.netlist.core import Netlist
+from repro.sim.backends import make_simulator
+from repro.sim.logic import Value
+from repro.sim.sync import CycleSimulator
+from repro.testing.stimulus import DEFAULT_SEED, random_stimulus
+from repro.timing.sta import analyze
+from repro.utils.errors import DifferentialError
+
+#: Backends compared by default, reference first.
+DEFAULT_BACKENDS = ("cycle", "event", "compiled")
+
+#: Settle factor applied to the STA period when clocking the event
+#: engines: inputs change half a period before the sampling edge, so
+#: double the synchronous period guarantees both the input wave and the
+#: post-edge register wave settle within their half-cycles.
+_PERIOD_FACTOR = 2.0
+
+
+@dataclass
+class BackendRun:
+    """Everything one backend observed over one stimulus."""
+
+    backend: str
+    captures: dict[str, list[Value]]
+    final_state: dict[str, Value]
+    register_toggles: dict[str, int]
+    # Event-engine-only observables (None for the cycle backend):
+    n_events: int | None = None
+    net_values: dict[str, Value] | None = None
+    net_toggles: dict[str, int] | None = None
+    capture_times: dict[str, list[float]] | None = None
+
+
+@dataclass
+class Mismatch:
+    """One observed disagreement between two backends."""
+
+    kind: str                 # captures | final_state | toggles | events
+    reference: str            # backend name supplying ``expected``
+    backend: str              # backend name supplying ``actual``
+    register: str | None
+    cycle: int | None
+    expected: object
+    actual: object
+
+    def describe(self) -> str:
+        where = self.register if self.register is not None else "<global>"
+        cycle = f" cycle {self.cycle}" if self.cycle is not None else ""
+        return (f"{self.kind} @ {where}{cycle}: "
+                f"{self.reference}={self.expected!r} "
+                f"{self.backend}={self.actual!r}")
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential run."""
+
+    netlist: str
+    cycles: int
+    seed: int
+    backends: tuple[str, ...]
+    mismatches: list[Mismatch] = field(default_factory=list)
+    minimized_cycles: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"{self.netlist}: {', '.join(self.backends)} agree over "
+                    f"{self.cycles} cycles (seed {self.seed})")
+        lines = [f"{self.netlist}: {len(self.mismatches)} disagreement(s) "
+                 f"over {self.cycles} cycles (seed {self.seed})"]
+        if self.minimized_cycles is not None:
+            lines.append(f"  minimal failing stimulus prefix: "
+                         f"{self.minimized_cycles} cycle(s)")
+        lines.extend(f"  {m.describe()}" for m in self.mismatches[:8])
+        return "\n".join(lines)
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            raise DifferentialError(self.describe())
+
+
+# ----------------------------------------------------------------------
+# backend runners
+# ----------------------------------------------------------------------
+
+def _run_cycle(netlist: Netlist,
+               stimulus: list[dict[str, Value]]) -> BackendRun:
+    sim = CycleSimulator(netlist)
+    sim.run(len(stimulus), stimulus)
+    ffs = netlist.dff_instances()
+    return BackendRun(
+        backend="cycle",
+        captures={ff.name: list(sim.captures[ff.name]) for ff in ffs},
+        final_state={ff.name: sim.values[ff.output_net().name]
+                     for ff in ffs},
+        register_toggles={
+            ff.name: sim.toggle_counts.get(ff.output_net().name, 0)
+            for ff in ffs},
+    )
+
+
+def drive_clocked(netlist: Netlist, backend: str,
+                  stimulus: list[dict[str, Value]],
+                  period: float | None = None):
+    """Run one clocked stimulus on an event engine; returns the sim.
+
+    This is *the* protocol that makes the event engines cycle-comparable
+    with :class:`~repro.sim.sync.CycleSimulator` (and with each other):
+    rising edges at ``(k + 1/2) * period`` for k = 0 .. cycles-1, vector
+    k driven at ``k * period`` — half a period ahead of the edge that
+    samples it, the cycle simulator's convention — and one extra period
+    of settling after the last edge.  ``period`` defaults to
+    ``_PERIOD_FACTOR`` times the STA synchronous period so every
+    half-cycle fully settles.  The throughput bench uses the same helper,
+    so what it measures is exactly what the harness verifies.
+    """
+    if netlist.clock is None:
+        raise DifferentialError(
+            f"{netlist.name} has no clock input; the event engines "
+            "need one to be cycle-comparable")
+    cycles = len(stimulus)
+    if period is None:
+        period = _PERIOD_FACTOR * analyze(netlist).sync_period()
+    sim = make_simulator(netlist, backend,
+                         initial_inputs=stimulus[0] if stimulus else {})
+    sim.add_clock(netlist.clock, period, until=cycles * period)
+    for k in range(1, cycles):
+        for port, value in stimulus[k].items():
+            sim.set_input(port, value, k * period)
+    sim.run((cycles + 1) * period)
+    return sim
+
+
+def _event_runner(backend: str) -> Callable[..., BackendRun]:
+    def run(netlist: Netlist,
+            stimulus: list[dict[str, Value]]) -> BackendRun:
+        sim = drive_clocked(netlist, backend, stimulus)
+        captures = sim.captures
+        ffs = netlist.dff_instances()
+        return BackendRun(
+            backend=backend,
+            captures={ff.name: [c.value for c in captures.get(ff.name, [])]
+                      for ff in ffs},
+            final_state={ff.name: sim.value(ff.output_net().name)
+                         for ff in ffs},
+            register_toggles={
+                ff.name: sim.toggle_counts.get(ff.output_net().name, 0)
+                for ff in ffs},
+            n_events=sim.n_events,
+            net_values=dict(sim.values),
+            net_toggles=dict(sim.toggle_counts),
+            capture_times={name: [c.time for c in caps]
+                           for name, caps in captures.items()},
+        )
+    return run
+
+
+#: Name -> runner.  ``run_differential`` copies and optionally extends
+#: this mapping, so experimental backends plug in without registration.
+RUNNERS: dict[str, Callable[[Netlist, list], BackendRun]] = {
+    "cycle": _run_cycle,
+    "event": _event_runner("event"),
+    "compiled": _event_runner("compiled"),
+}
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+
+def compare_runs(runs: list[BackendRun]) -> list[Mismatch]:
+    """All disagreements of ``runs[1:]`` against ``runs[0]``.
+
+    Capture streams, final state and register toggles are compared for
+    every pair; the event-level observables (net values, net toggles,
+    event count) only between runs that expose them — the cycle engine
+    legitimately differs there (it never glitches, so per-net toggle
+    counts are incomparable).
+    """
+    mismatches: list[Mismatch] = []
+    reference = runs[0]
+    for other in runs[1:]:
+        pair = dict(kind="captures", reference=reference.backend,
+                    backend=other.backend)
+        registers = sorted(set(reference.captures) | set(other.captures))
+        for register in registers:
+            expected = reference.captures.get(register)
+            actual = other.captures.get(register)
+            if expected is None or actual is None:
+                mismatches.append(Mismatch(**pair, register=register,
+                                           cycle=None, expected=expected,
+                                           actual=actual))
+                continue
+            if len(expected) != len(actual):
+                mismatches.append(Mismatch(
+                    **pair, register=register, cycle=min(len(expected),
+                                                         len(actual)),
+                    expected=len(expected), actual=len(actual)))
+            for cycle, (want, got) in enumerate(zip(expected, actual)):
+                if want != got:
+                    mismatches.append(Mismatch(**pair, register=register,
+                                               cycle=cycle, expected=want,
+                                               actual=got))
+                    break
+        for register in sorted(reference.final_state):
+            want = reference.final_state[register]
+            got = other.final_state.get(register)
+            if want != got:
+                mismatches.append(Mismatch(
+                    kind="final_state", reference=reference.backend,
+                    backend=other.backend, register=register, cycle=None,
+                    expected=want, actual=got))
+        for register in sorted(reference.register_toggles):
+            want = reference.register_toggles[register]
+            got = other.register_toggles.get(register)
+            if want != got:
+                mismatches.append(Mismatch(
+                    kind="toggles", reference=reference.backend,
+                    backend=other.backend, register=register, cycle=None,
+                    expected=want, actual=got))
+    event_runs = [run for run in runs if run.n_events is not None]
+    for other in event_runs[1:]:
+        reference = event_runs[0]
+        for kind, attr in (("events", "n_events"),
+                           ("events", "net_values"),
+                           ("events", "net_toggles"),
+                           ("events", "capture_times")):
+            want = getattr(reference, attr)
+            got = getattr(other, attr)
+            if want != got:
+                mismatches.append(Mismatch(
+                    kind=kind, reference=reference.backend,
+                    backend=other.backend, register=attr, cycle=None,
+                    expected=_shrink(want, got), actual=_shrink(got, want)))
+    return mismatches
+
+
+def _shrink(value: object, other: object) -> object:
+    """Reduce a big mapping mismatch to its differing keys for reports."""
+    if isinstance(value, Mapping) and isinstance(other, Mapping):
+        keys = [k for k in set(value) | set(other)
+                if value.get(k) != other.get(k)]
+        return {k: value.get(k) for k in sorted(map(str, keys))[:5]}
+    return value
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+
+def minimize_prefix(diverges: Callable[[int], bool],
+                    cycles: int) -> int | None:
+    """Shortest stimulus prefix length on which ``diverges`` holds.
+
+    Binary search: simulation is deterministic and divergence is
+    prefix-monotonic (once two backends disagree within k cycles they
+    still disagree within any longer run), so the predicate is
+    monotone in the prefix length.  Returns None if even the full
+    ``cycles`` do not diverge.
+    """
+    if cycles < 1 or not diverges(cycles):
+        return None
+    low, high = 1, cycles
+    while low < high:
+        mid = (low + high) // 2
+        if diverges(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def run_differential(netlist: Netlist, cycles: int = 16,
+                     seed: int = DEFAULT_SEED,
+                     backends: Iterable[str] = DEFAULT_BACKENDS,
+                     runners: Mapping[str, Callable] | None = None,
+                     stimulus: list[dict[str, Value]] | None = None,
+                     minimize: bool = True) -> DifferentialReport:
+    """Differentially test ``backends`` on ``netlist``.
+
+    ``stimulus`` defaults to :func:`random_stimulus` for ``(cycles,
+    seed)``.  ``runners`` overlays :data:`RUNNERS`, letting callers
+    plug in experimental backends.  When the backends disagree and
+    ``minimize`` is set, the stimulus is re-run on shrinking prefixes
+    to find the shortest failing one (``minimized_cycles`` in the
+    report).
+    """
+    backends = tuple(backends)
+    if len(backends) < 2:
+        raise DifferentialError("differential testing needs >= 2 backends")
+    table = dict(RUNNERS)
+    table.update(runners or {})
+    missing = [b for b in backends if b not in table]
+    if missing:
+        raise DifferentialError(
+            f"unknown backend(s) {missing} (have: {', '.join(sorted(table))})")
+    if stimulus is None:
+        stimulus = random_stimulus(netlist, cycles, seed)
+    cycles = len(stimulus)
+
+    def runs_for(prefix: list[dict[str, Value]]) -> list[BackendRun]:
+        runs = []
+        for backend in backends:
+            run = table[backend](netlist, prefix)
+            run.backend = backend  # a plugged-in runner may wrap another
+            runs.append(run)
+        return runs
+
+    mismatches = compare_runs(runs_for(stimulus))
+    minimized = None
+    if mismatches and minimize and cycles > 1:
+        # The full run is already known to diverge; seed the search's
+        # cache so the binary search never repeats it.
+        known: dict[int, bool] = {cycles: True}
+
+        def diverges(n: int) -> bool:
+            if n not in known:
+                known[n] = bool(compare_runs(runs_for(stimulus[:n])))
+            return known[n]
+
+        minimized = minimize_prefix(diverges, cycles)
+    return DifferentialReport(
+        netlist=netlist.name, cycles=cycles, seed=seed, backends=backends,
+        mismatches=mismatches, minimized_cycles=minimized)
+
+
+def differential_corpus(configs: Iterable[str] | None = None,
+                        cycles: int = 16, seed: int = DEFAULT_SEED,
+                        backends: Iterable[str] = DEFAULT_BACKENDS,
+                        ) -> dict[str, DifferentialReport]:
+    """Run the differential harness over corpus configurations.
+
+    ``configs`` defaults to the full registry.  Returns a report per
+    configuration name; callers assert ``report.ok`` (or collect
+    ``describe()`` strings) as suits them.
+    """
+    from repro.corpus import generate, names
+    reports: dict[str, DifferentialReport] = {}
+    for config in (configs if configs is not None else names()):
+        reports[config] = run_differential(generate(config), cycles=cycles,
+                                           seed=seed, backends=backends)
+    return reports

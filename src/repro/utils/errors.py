@@ -54,6 +54,10 @@ class DesyncError(ReproError):
     """De-synchronization flow failure."""
 
 
+class DifferentialError(ReproError):
+    """Differential-testing failure or harness misuse."""
+
+
 class SimulationError(ReproError):
     """Logic simulation failure (unresolved X on a latch control, ...)."""
 

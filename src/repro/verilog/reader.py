@@ -251,6 +251,7 @@ class _Parser:
         statement begins between the semicolon and the comment.
         """
         annotation = None
+        where = semi
         next_token = self.current  # first token after the semicolon
         # Statements arrive in source order, so a persistent cursor keeps
         # the scan linear; it stops at start.line (not past it) because a
@@ -272,12 +273,13 @@ class _Parser:
             value = comment.annotations().get("init")
             if value is not None:
                 annotation = value
+                where = comment
         if annotation is None:
             return None
         if annotation not in ("0", "1"):
             raise VerilogError(
                 f"init annotation must be 0 or 1, got {annotation!r}",
-                semi.line)
+                where.line, where.column)
         return int(annotation)
 
     # ------------------------------------------------------------------

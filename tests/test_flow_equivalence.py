@@ -3,9 +3,12 @@ observationally on the gate-level de-synchronized circuits."""
 
 import pytest
 
+from repro.corpus import generate
 from repro.desync import DesyncOptions, HandshakeMode, desynchronize
-from repro.equiv import check_flow_equivalence, reference_streams
+from repro.equiv import check_flow_equivalence, desync_streams, \
+    reference_streams
 from repro.netlist import Netlist
+from repro.testing import random_stimulus
 from repro.utils.errors import FlowEquivalenceError
 
 from tests.circuits import (
@@ -17,6 +20,18 @@ from tests.circuits import (
 )
 
 MODES = [HandshakeMode.OVERLAP, HandshakeMode.SERIAL]
+
+
+def two_stage_pipeline() -> Netlist:
+    """din -> r0 -> r1 -> q1: the smallest circuit with an inter-bank
+    handshake, used by the mutation tests below."""
+    netlist = Netlist("two")
+    clk = netlist.add_input("clk", clock=True)
+    din = netlist.add_input("din")
+    q0 = netlist.add("DFF", name="r0/b", D=din, CK=clk, Q="q0").output_net()
+    netlist.add("DFF", name="r1/b", D=q0, CK=clk, Q="q1")
+    netlist.add_output("q1")
+    return netlist
 
 
 @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
@@ -92,3 +107,141 @@ class TestReportMechanics:
             netlist, cycles=4,
             inputs_per_cycle=[{"d": v} for v in (1, 0, 0, 1)])
         assert streams["r/b"] == [1, 0, 0, 1]
+
+
+class TestVaryingInputs:
+    """``inputs_per_cycle`` on the de-synchronized side: the self-timed
+    environment presents vector k once the input-fed registers have
+    consumed vector k-1."""
+
+    def test_two_stage_tracks_sequence(self):
+        result = desynchronize(two_stage_pipeline())
+        cycles = 10
+        sequence = [1, 0, 0, 1, 1, 1, 0, 1, 0, 0]
+        ipc = [{"din": value} for value in sequence]
+        report = check_flow_equivalence(result, cycles=cycles,
+                                        inputs_per_cycle=ipc)
+        assert report.equivalent, report.divergences[:3]
+        # and the streams really do track the stimulus, shifted by rank
+        streams = desync_streams(result, cycles, inputs_per_cycle=ipc)
+        assert streams["r0/b"] == sequence
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    @pytest.mark.parametrize("config", ["mult2", "crc5"])
+    def test_corpus_configs_under_random_stimulus(self, config, mode):
+        netlist = generate(config)
+        result = desynchronize(netlist, DesyncOptions(mode=mode))
+        cycles = 12
+        ipc = random_stimulus(netlist, cycles, seed=99)
+        report = check_flow_equivalence(result, cycles=cycles,
+                                        inputs_per_cycle=ipc,
+                                        backend="compiled")
+        assert report.equivalent, report.divergences[:3]
+
+    def test_constant_vectors_match_constant_inputs(self):
+        result = desynchronize(inverter_pipeline(3),
+                               DesyncOptions(mode=HandshakeMode.SERIAL))
+        constant = desync_streams(result, 10, inputs={"din": 1})
+        repeated = desync_streams(result, 10,
+                                  inputs_per_cycle=[{"din": 1}] * 10)
+        assert constant == repeated
+
+    def test_short_stimulus_rejected(self):
+        result = desynchronize(lfsr3())
+        with pytest.raises(FlowEquivalenceError, match="4 vectors"):
+            check_flow_equivalence(result, cycles=10,
+                                   inputs_per_cycle=[{}] * 4)
+
+    def test_backend_parity_on_desync_side(self):
+        result = desynchronize(two_stage_pipeline())
+        ipc = [{"din": k % 2} for k in range(8)]
+        event = desync_streams(result, 8, inputs_per_cycle=ipc,
+                               backend="event")
+        compiled = desync_streams(result, 8, inputs_per_cycle=ipc,
+                                  backend="compiled")
+        assert event == compiled
+
+    def test_negative_hold_margin_is_observable(self):
+        """Varying stimulus detects exactly the fabrics whose gate-level
+        hold margins are violated — the overlap-mode pipeline races
+        transiently (a wave is overwritten before its consumer closes),
+        which constant-input streams can never show."""
+        netlist = generate("pipe4x1")
+        cycles = 12
+        ipc = random_stimulus(netlist, cycles, seed=11)
+        racy = desynchronize(netlist,
+                             DesyncOptions(mode=HandshakeMode.OVERLAP))
+        worst = min(check.margin
+                    for check in racy.verify_hold(rounds=cycles + 2,
+                                                  use_model=False))
+        assert worst < 0.0  # the fabric's RT assumption really is broken
+        report = check_flow_equivalence(racy, cycles=cycles,
+                                        inputs_per_cycle=ipc)
+        assert not report.equivalent
+        # ... while the statically race-free serial fabric stays clean.
+        safe = desynchronize(generate("pipe4x1"),
+                             DesyncOptions(mode=HandshakeMode.SERIAL))
+        assert all(check.ok
+                   for check in safe.verify_hold(rounds=cycles + 2,
+                                                 use_model=False))
+        check_flow_equivalence(safe, cycles=cycles,
+                               inputs_per_cycle=ipc).assert_ok()
+
+
+class TestMutationDetection:
+    """The ``equivalent=False`` path: corrupt the de-synchronized
+    netlist and the checker must name the first diverging register and
+    cycle."""
+
+    def test_corrupted_latch_init_located(self):
+        result = desynchronize(two_stage_pipeline())
+        # r0's slave powers up holding the wrong value; the first thing
+        # r1 captures is that corrupted 1 instead of r0's init 0.
+        result.desync_netlist.instances["r0.S/b"].init ^= 1
+        report = check_flow_equivalence(result, cycles=10,
+                                        inputs={"din": 1})
+        assert not report.equivalent
+        first = report.divergences[0]
+        assert (first.register, first.cycle) == ("r1/b", 0)
+        assert (first.sync_value, first.desync_value) == (0, 1)
+        with pytest.raises(FlowEquivalenceError,
+                           match=r"register r1/b, cycle 0"):
+            report.assert_ok()
+
+    def test_corrupted_controller_token_located(self):
+        result = desynchronize(two_stage_pipeline())
+        # A spurious request token at reset makes r1 capture early.
+        result.desync_netlist.instances["tok:r0>r1/r"].init ^= 1
+        report = check_flow_equivalence(result, cycles=10,
+                                        inputs={"din": 1})
+        assert not report.equivalent
+        first = report.divergences[0]
+        assert (first.register, first.cycle) == ("r1/b", 0)
+
+    def test_bypassed_matched_delay_located(self):
+        """Rewiring the token latch's request off the matched delay
+        line (the canonical de-synchronization bug: a wrong matched
+        delay) is invisible under constant stimulus and caught at the
+        exact consumer register under a toggling one."""
+        def bypass(result):
+            netlist = result.desync_netlist
+            token = netlist.instances["tok:r0>r1/r"]
+            raw = netlist.instances["dl:r0>r1/d0"].input_nets()[0]
+            delayed = token.pins["R"]
+            delayed.sinks.remove((token, "R"))
+            token.pins["R"] = raw
+            raw.sinks.append((token, "R"))
+
+        constant = desynchronize(two_stage_pipeline())
+        bypass(constant)
+        assert check_flow_equivalence(constant, cycles=10,
+                                      inputs={"din": 1}).equivalent
+
+        toggling = desynchronize(two_stage_pipeline())
+        bypass(toggling)
+        ipc = [{"din": k % 2} for k in range(10)]
+        report = check_flow_equivalence(toggling, cycles=10,
+                                        inputs_per_cycle=ipc)
+        assert not report.equivalent
+        first = report.divergences[0]
+        assert (first.register, first.cycle) == ("r1/b", 1)

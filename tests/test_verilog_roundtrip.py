@@ -271,3 +271,47 @@ class TestReaderErrors:
             assert "line 5" in str(exc)
         else:  # pragma: no cover
             pytest.fail("expected VerilogError")
+
+
+class TestErrorLocations:
+    """Error paths must point at the offending token: both the 1-based
+    line and column ride on the :class:`VerilogError`."""
+
+    def _located(self, source):
+        with pytest.raises(VerilogError) as excinfo:
+            read_verilog(source)
+        error = excinfo.value
+        assert f"line {error.line}:{error.column}" in str(error)
+        return error
+
+    def test_truncated_module(self):
+        error = self._located("module m (a, y);\n  input a;\n  output y;\n"
+                              "  BUF u0 (.A(a), .Q(y));\n")
+        assert "missing 'endmodule'" in str(error)
+        # the EOF token sits at the start of the line after the last text
+        assert (error.line, error.column) == (5, 1)
+
+    def test_duplicate_net_driver(self):
+        error = self._located(
+            "module bad (a, y);\n  input a;\n  output y;\n"
+            "  INV u0 (.A(a), .Q(y));\n  INV u1 (.A(a), .Q(y));\n"
+            "endmodule\n")
+        assert "already driven by u0" in str(error)
+        # located at u1's output pin token on line 5
+        assert (error.line, error.column) == (5, 19)
+
+    def test_unknown_cell(self):
+        error = self._located(
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  MAGIC4 u0 (.A(a), .Q(y));\nendmodule\n")
+        assert "unknown cell 'MAGIC4'" in str(error)
+        assert (error.line, error.column) == (4, 3)
+
+    def test_bad_annotation_value(self):
+        error = self._located(
+            "module m (clk, d, q);\n  input clk;\n  input d;\n"
+            "  output q;\n"
+            "  DFF r0 (.D(d), .CK(clk), .Q(q)); // init=2\nendmodule\n")
+        assert "init annotation must be 0 or 1" in str(error)
+        # located at the annotation comment itself, not the statement
+        assert (error.line, error.column) == (5, 36)
