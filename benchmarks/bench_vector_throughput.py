@@ -1,0 +1,131 @@
+"""Cycle-engine throughput — scalar vs. lane-parallel vector backend.
+
+Runs every corpus configuration through the scalar
+:class:`~repro.sim.sync.CycleSimulator` (with and without the toggle
+bookkeeping) and through the code-generated
+:class:`~repro.sim.vector.VectorCycleSimulator` carrying ``LANES``
+seeded stimuli at once, and reports the **per-stimulus** speedup —
+vector wall time divided by the lane count against one scalar run.
+Lane 0 of every vector run must demux to exactly the scalar capture
+streams, so the bench doubles as a correctness check at workload size
+(the full per-lane check over the registry is
+``tests/test_vector_sim.py``).
+
+The asserted floor (>= 10x per stimulus on the two largest
+configurations) is what makes wide scenario sweeps — batched
+flow-equivalence checks and differential runs over many seeds — cheap
+enough to put in CI.
+
+Artifacts: ``benchmarks/out/BENCH_vector.txt`` (table) and
+``benchmarks/out/BENCH_vector.json`` (versioned series for the perf
+trajectory, uploaded per CI run alongside ``BENCH_sim.json``).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_vector_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from benchmarks.conftest import out_path, write_out
+from repro.corpus import iter_corpus
+from repro.report import JSON_SCHEMA, TextTable, write_json
+from repro.sim.sync import CycleSimulator
+from repro.sim.vector import VectorCycleSimulator, pack_stimuli
+from repro.testing import DEFAULT_SEED, random_stimulus
+
+CYCLES = 256
+LANES = 64
+REPEATS = 3
+#: The two largest configurations carry the acceptance floor; measured
+#: speedups are an order of magnitude above it (see BENCH_vector.txt).
+SPEEDUP_FLOOR = {"mult4": 10.0, "pipe8x2": 10.0}
+
+COLUMNS = ["name", "generator", "instances", "nets", "cycles", "lanes",
+           "scalar_ms", "scalar_fast_ms", "vector_ms", "per_stim_ms",
+           "speedup", "speedup_vs_fast"]
+
+
+def _best_of(repeats: int, build_and_run) -> tuple[float, object]:
+    """Best wall time (construction + run) and the last simulator."""
+    best = float("inf")
+    sim = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim = build_and_run()
+        best = min(best, time.perf_counter() - start)
+    return best, sim
+
+
+def _sweep() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for spec, netlist in iter_corpus():
+        stimuli = [random_stimulus(netlist, CYCLES, DEFAULT_SEED + i)
+                   for i in range(LANES)]
+        packed = pack_stimuli(stimuli)
+
+        def run_scalar(record_toggles: bool):
+            sim = CycleSimulator(netlist, record_toggles=record_toggles)
+            sim.run(CYCLES, stimuli[0])
+            return sim
+
+        def run_vector():
+            sim = VectorCycleSimulator(netlist, lanes=LANES)
+            sim.run(CYCLES, packed)
+            return sim
+
+        scalar_s, scalar_sim = _best_of(REPEATS, lambda: run_scalar(True))
+        fast_s, _ = _best_of(REPEATS, lambda: run_scalar(False))
+        vector_s, vector_sim = _best_of(REPEATS, run_vector)
+        # The bench is only meaningful if the engines agree exactly:
+        # lane 0 carries the scalar run's stimulus.
+        assert vector_sim.lane_captures(0) == {
+            name: list(stream)
+            for name, stream in scalar_sim.captures.items()}, spec.name
+        per_stim_s = vector_s / LANES
+        rows.append([
+            spec.name, spec.generator, len(netlist), len(netlist.nets),
+            CYCLES, LANES,
+            scalar_s * 1e3, fast_s * 1e3, vector_s * 1e3, per_stim_s * 1e3,
+            scalar_s / per_stim_s, fast_s / per_stim_s,
+        ])
+    return rows
+
+
+@pytest.mark.benchmark(group="vector-throughput")
+def test_bench_vector_throughput(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = TextTable("BENCH vector - cycle-engine throughput, "
+                      "scalar vs lane-parallel", COLUMNS)
+    for row in rows:
+        head, values = row[:6], row[6:]
+        table.add_row(*head, *(f"{value:,.0f}" if value >= 100 else
+                               f"{value:.3f}" for value in values))
+    table.print()
+    write_out("BENCH_vector.txt", table.render())
+    write_json(out_path("BENCH_vector.json"), COLUMNS, rows)
+
+    # The artifact must carry the perf-trajectory envelope.
+    with open(out_path("BENCH_vector.json")) as handle:
+        payload = json.load(handle)
+    assert payload["schema"] == JSON_SCHEMA
+    assert set(payload) == {"schema", "git_sha", "columns", "rows"}
+    assert payload["columns"] == COLUMNS
+    assert len(payload["rows"]) == len(rows)
+
+    # Whole registry swept, every configuration distinct.
+    assert len(rows) >= 13
+    by_name = {row[0]: dict(zip(COLUMNS, row)) for row in rows}
+    assert len(by_name) == len(rows)
+    for name, floor in SPEEDUP_FLOOR.items():
+        assert by_name[name]["speedup"] >= floor, (
+            f"{name}: vector per-stimulus speedup "
+            f"{by_name[name]['speedup']:.1f}x under the {floor}x floor")
+    # No configuration may regress to scalar speed: even the smallest
+    # shapes amortize the per-pass overhead across 64 lanes.
+    for name, data in by_name.items():
+        assert data["speedup"] > 3.0, f"{name}: {data['speedup']:.2f}x"

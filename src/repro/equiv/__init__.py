@@ -4,14 +4,20 @@ from repro.equiv.flow_equivalence import (
     Divergence,
     FlowEquivalenceReport,
     check_flow_equivalence,
+    check_flow_equivalence_batch,
+    compare_streams,
     desync_streams,
     reference_streams,
+    reference_streams_batch,
 )
 
 __all__ = [
     "Divergence",
     "FlowEquivalenceReport",
     "check_flow_equivalence",
+    "check_flow_equivalence_batch",
+    "compare_streams",
     "desync_streams",
     "reference_streams",
+    "reference_streams_batch",
 ]

@@ -20,6 +20,8 @@ comparison is a plain per-register prefix check.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from dataclasses import dataclass, field
 
 from repro.desync.flow import DesyncResult
@@ -28,6 +30,7 @@ from repro.netlist.core import Netlist
 from repro.sim.backends import DEFAULT_BACKEND, make_simulator
 from repro.sim.logic import Value
 from repro.sim.sync import CycleSimulator
+from repro.sim.vector import VECTOR_LANES, VectorCycleSimulator, pack_stimuli
 from repro.utils.errors import FlowEquivalenceError
 
 
@@ -65,11 +68,33 @@ def reference_streams(netlist: Netlist, cycles: int,
                       inputs_per_cycle: list[dict[str, Value]] | None = None,
                       ) -> dict[str, list[Value]]:
     """Per-flip-flop capture streams from the synchronous reference."""
-    sim = CycleSimulator(netlist)
+    sim = CycleSimulator(netlist, record_toggles=False)
     if inputs:
         sim.set_inputs(inputs)
     sim.run(cycles, inputs_per_cycle)
     return {name: list(values) for name, values in sim.captures.items()}
+
+
+def reference_streams_batch(netlist: Netlist, cycles: int,
+                            stimuli: list[list[dict[str, Value]]],
+                            lanes: int = VECTOR_LANES,
+                            ) -> list[dict[str, list[Value]]]:
+    """Per-flip-flop reference streams for N stimuli, lane-parallel.
+
+    Runs the code-generated :class:`~repro.sim.vector.VectorCycleSimulator`
+    in ``ceil(N / lanes)`` passes — stimulus *i* rides lane ``i % lanes``
+    of pass ``i // lanes`` — and demuxes one scalar stream dict per
+    stimulus, in input order.  Lane demux equals an independent
+    :func:`reference_streams` call per stimulus (the differential
+    harness asserts this); the per-stimulus cost is what drops.
+    """
+    streams: list[dict[str, list[Value]]] = []
+    for start in range(0, len(stimuli), lanes):
+        block = stimuli[start:start + lanes]
+        sim = VectorCycleSimulator(netlist, lanes=len(block))
+        sim.run(cycles, pack_stimuli(block))
+        streams.extend(sim.lane_captures(lane) for lane in range(len(block)))
+    return streams
 
 
 def _input_fed_masters(netlist: Netlist, masters: dict[str, str]) -> list[str]:
@@ -201,6 +226,13 @@ def check_flow_equivalence(result: DesyncResult, cycles: int = 20,
     desync = desync_streams(result, cycles, inputs=inputs,
                             inputs_per_cycle=inputs_per_cycle,
                             backend=backend)
+    return compare_streams(sync, desync, cycles)
+
+
+def compare_streams(sync: dict[str, list[Value]],
+                    desync: dict[str, list[Value]],
+                    cycles: int) -> FlowEquivalenceReport:
+    """Per-register prefix comparison of two capture-stream sets."""
     divergences: list[Divergence] = []
     for register, sync_stream in sorted(sync.items()):
         desync_stream = desync.get(register)
@@ -218,3 +250,35 @@ def check_flow_equivalence(result: DesyncResult, cycles: int = 20,
         registers=len(sync),
         divergences=divergences,
     )
+
+
+def check_flow_equivalence_batch(result: DesyncResult, seeds: Iterable[int],
+                                 cycles: int = 20,
+                                 backend: str = DEFAULT_BACKEND,
+                                 lanes: int = VECTOR_LANES,
+                                 ) -> dict[int, FlowEquivalenceReport]:
+    """Flow-equivalence sweep over N seeded random stimuli, batched.
+
+    One seeded stimulus per entry of ``seeds`` (see
+    :func:`repro.testing.stimulus.random_stimulus`); the synchronous
+    reference side runs lane-parallel in ``ceil(N / lanes)`` vector
+    passes instead of N scalar simulations, which is what makes wide
+    scenario sweeps cheap — the self-timed side remains one event-driven
+    run per seed (handshake fabrics have no global cycle to batch on).
+    Returns a report per seed, in ``seeds`` order.
+    """
+    from repro.testing.stimulus import random_stimulus
+    seeds = list(seeds)
+    if len(set(seeds)) != len(seeds):
+        raise FlowEquivalenceError(
+            "duplicate seeds in batch sweep (reports are keyed by seed)")
+    stimuli = [random_stimulus(result.sync_netlist, cycles, seed)
+               for seed in seeds]
+    sync_streams = reference_streams_batch(result.sync_netlist, cycles,
+                                           stimuli, lanes=lanes)
+    reports: dict[int, FlowEquivalenceReport] = {}
+    for seed, stimulus, sync in zip(seeds, stimuli, sync_streams):
+        desync = desync_streams(result, cycles, inputs_per_cycle=stimulus,
+                                backend=backend)
+        reports[seed] = compare_streams(sync, desync, cycles)
+    return reports

@@ -116,7 +116,17 @@ class Instance:
 
 
 class Netlist:
-    """A flat gate-level netlist plus its builder API."""
+    """A flat gate-level netlist plus its builder API.
+
+    Structural queries that every simulator construction repeats
+    (:meth:`topo_order_comb_only`, :meth:`dff_instances`,
+    :meth:`latch_instances`, :meth:`comb_instances`) are cached and
+    invalidated by the mutating builder calls (:meth:`add`,
+    :meth:`connect`).  Code that mutates structure *directly* — editing
+    ``Net.driver``/``Net.sinks`` or ``Instance.pins`` without going
+    through ``connect`` — must call :meth:`invalidate_query_caches`
+    afterwards.
+    """
 
     def __init__(self, name: str, library: Library | None = None):
         self.name = name
@@ -128,6 +138,27 @@ class Netlist:
         self.clock: str | None = None    # name of the clock input, if any
         self._net_scope = NameScope()
         self._inst_scope = NameScope()
+        self._query_cache: dict[object, object] = {}
+
+    def invalidate_query_caches(self) -> None:
+        """Drop cached structural queries after a direct mutation."""
+        self._query_cache.clear()
+
+    def memo(self, key, compute):
+        """Memoize a structure-derived value in the query cache.
+
+        Invalidated together with the structural queries (any ``add``/
+        ``connect`` or :meth:`invalidate_query_caches`), so engines may
+        park per-netlist compilation artifacts here — e.g. the vector
+        simulator's generated evaluation functions — without their own
+        invalidation plumbing.  The value is returned as stored: share
+        only immutable (or never-mutated) values.
+        """
+        hit = self._query_cache.get(key)
+        if hit is None:
+            hit = compute()
+            self._query_cache[key] = hit
+        return hit
 
     # ------------------------------------------------------------------
     # construction
@@ -182,6 +213,7 @@ class Netlist:
             raise NetlistError(f"duplicate instance name {name}")
         inst = Instance(inst_name, cell_obj, init=init)
         self.instances[inst_name] = inst
+        self._query_cache.clear()
         for pin, target in connections.items():
             self.connect(inst, pin, target)
         return inst
@@ -210,6 +242,7 @@ class Netlist:
         else:
             net.sinks.append((inst, pin))
         inst.pins[pin] = net
+        self._query_cache.clear()
         return net
 
     def add_gate(self, cell: str | Cell, inputs: Sequence[Net | str],
@@ -237,8 +270,14 @@ class Netlist:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _cached(self, key: str, compute) -> list:
+        """Memoized structural query; returns a fresh list each call so
+        callers may sort/consume it without corrupting the cache."""
+        return list(self.memo(key, lambda: tuple(compute())))
+
     def comb_instances(self) -> list[Instance]:
-        return [i for i in self.instances.values() if i.is_combinational]
+        return self._cached("comb", lambda: (
+            i for i in self.instances.values() if i.is_combinational))
 
     def seq_instances(self) -> list[Instance]:
         return [i for i in self.instances.values() if i.is_sequential]
@@ -247,12 +286,14 @@ class Netlist:
         return [i for i in self.instances.values() if i.is_celement]
 
     def dff_instances(self) -> list[Instance]:
-        return [i for i in self.instances.values()
-                if i.cell.kind is CellKind.DFF]
+        return self._cached("dffs", lambda: (
+            i for i in self.instances.values()
+            if i.cell.kind is CellKind.DFF))
 
     def latch_instances(self) -> list[Instance]:
-        return [i for i in self.instances.values()
-                if i.cell.kind in (CellKind.LATCH_HIGH, CellKind.LATCH_LOW)]
+        return self._cached("latches", lambda: (
+            i for i in self.instances.values()
+            if i.cell.kind in (CellKind.LATCH_HIGH, CellKind.LATCH_LOW)))
 
     def validate(self) -> None:
         """Check structural sanity; raises :class:`NetlistError` on failure."""
@@ -283,8 +324,9 @@ class Netlist:
         return self._topo(include_celements=True)
 
     def topo_order_comb_only(self) -> list[Instance]:
-        """Topological order of purely combinational instances."""
-        return self._topo(include_celements=False)
+        """Topological order of purely combinational instances (cached)."""
+        return self._cached("topo_comb",
+                            lambda: self._topo(include_celements=False))
 
     def _topo(self, include_celements: bool) -> list[Instance]:
         members = {

@@ -1,5 +1,12 @@
 """Reporting helpers (text tables, CSV/JSON series)."""
 
-from repro.report.table import TextTable, write_csv, write_json
+from repro.report.table import (
+    JSON_SCHEMA,
+    TextTable,
+    git_short_sha,
+    write_csv,
+    write_json,
+)
 
-__all__ = ["TextTable", "write_csv", "write_json"]
+__all__ = ["JSON_SCHEMA", "TextTable", "git_short_sha", "write_csv",
+           "write_json"]

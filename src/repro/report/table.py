@@ -4,7 +4,32 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from dataclasses import dataclass, field
+
+#: Version tag of the JSON artifact layout.  Bump when the envelope
+#: changes shape, so perf-trajectory tooling comparing ``BENCH_*.json``
+#: files across commits can tell envelopes apart.
+JSON_SCHEMA = "repro-bench/1"
+
+
+def git_short_sha(anchor: str | None = None) -> str | None:
+    """Abbreviated commit hash of the repository containing ``anchor``.
+
+    Returns ``None`` when git is unavailable or ``anchor`` (default: the
+    working directory) is not inside a repository — artifacts must still
+    be writable from tarballs and sdist installs.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=anchor if anchor else ".",
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
 
 
 @dataclass
@@ -57,13 +82,17 @@ def write_csv(path: str, columns: list[str],
 
 def write_json(path: str, columns: list[str],
                rows: list[list[object]]) -> None:
-    """Write a data series as a JSON list of row objects.
+    """Write a data series as a versioned JSON artifact.
 
     Same ``(columns, rows)`` shape as :func:`write_csv`, so a bench can
     emit both artifacts from one result set; values pass through
-    unconverted, preserving numbers for machine consumers (the perf
-    trajectory tooling reads these).  Shape mismatches raise instead of
-    silently dropping fields from the JSON objects.
+    unconverted, preserving numbers for machine consumers.  The payload
+    is an envelope ``{"schema", "git_sha", "columns", "rows"}`` — the
+    schema version and abbreviated commit hash are what make successive
+    ``BENCH_*.json`` artifacts comparable across PRs in the perf
+    trajectory (``git_sha`` is ``null`` outside a git checkout).  Shape
+    mismatches raise instead of silently dropping fields from the row
+    objects.
     """
     if len(set(columns)) != len(columns):
         raise ValueError(f"duplicate column names in {columns}")
@@ -73,7 +102,12 @@ def write_json(path: str, columns: list[str],
                 f"row {index} has {len(row)} cells for "
                 f"{len(columns)} columns")
     _ensure_parent(path)
-    payload = [dict(zip(columns, row)) for row in rows]
+    payload = {
+        "schema": JSON_SCHEMA,
+        "git_sha": git_short_sha(os.path.dirname(os.path.abspath(path))),
+        "columns": list(columns),
+        "rows": [dict(zip(columns, row)) for row in rows],
+    }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -1,10 +1,13 @@
 """Logic simulation: event-driven (interpreted and compiled),
-cycle-accurate, and waveforms."""
+cycle-accurate (scalar and lane-parallel), and waveforms."""
 
 from repro.sim.backends import (
+    CYCLE_BACKENDS,
     DEFAULT_BACKEND,
     EVENT_BACKENDS,
     backend_names,
+    cycle_backend_names,
+    make_cycle_simulator,
     make_simulator,
 )
 from repro.sim.compiled import CompiledSimulator
@@ -17,6 +20,14 @@ from repro.sim.simulator import (
     settle_combinational,
 )
 from repro.sim.sync import CycleSimulator, LatchCycleSimulator
+from repro.sim.vector import (
+    VECTOR_LANES,
+    VectorCycleSimulator,
+    VectorLatchCycleSimulator,
+    pack_lanes,
+    pack_stimuli,
+    unpack_lanes,
+)
 from repro.sim.waves import WaveGroup, Waveform, overlap_intervals
 
 __all__ = [
@@ -27,15 +38,24 @@ __all__ = [
     "to_char",
     "Capture",
     "CompiledSimulator",
+    "CYCLE_BACKENDS",
     "DEFAULT_BACKEND",
     "EVENT_BACKENDS",
     "backend_names",
+    "cycle_backend_names",
+    "make_cycle_simulator",
     "make_simulator",
     "EventSimulator",
     "SimStats",
     "settle_combinational",
     "CycleSimulator",
     "LatchCycleSimulator",
+    "VECTOR_LANES",
+    "VectorCycleSimulator",
+    "VectorLatchCycleSimulator",
+    "pack_lanes",
+    "pack_stimuli",
+    "unpack_lanes",
     "WaveGroup",
     "Waveform",
     "overlap_intervals",

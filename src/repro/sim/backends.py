@@ -1,18 +1,21 @@
-"""Simulator backend registry.
+"""Simulator backend registries.
 
-Two engines implement the event-driven simulation contract (identical
-constructor and observation surface, identical event-for-event
-behaviour): the interpreter-style
+**Event-driven engines** implement the event-simulation contract
+(identical constructor and observation surface, identical event-for-
+event behaviour): the interpreter-style
 :class:`~repro.sim.simulator.EventSimulator` and the slot-compiled
 :class:`~repro.sim.compiled.CompiledSimulator`.  Code that runs
 de-synchronized fabrics selects between them by name through
 :func:`make_simulator`, so callers (flow-equivalence checking, hold
 verification, benchmarks, the differential harness) stay engine-agnostic.
 
-The cycle-accurate :class:`~repro.sim.sync.CycleSimulator` is *not* in
-this registry: it has a per-cycle stepping interface and is only
-meaningful for globally-clocked netlists.  The differential harness in
-:mod:`repro.testing` is what relates it to the event engines.
+**Cycle engines** have the per-cycle stepping interface and are only
+meaningful for globally-clocked netlists; they live in their own
+registry.  Scalar (:mod:`repro.sim.sync`) and lane-parallel
+(:mod:`repro.sim.vector`) variants exist for both the flip-flop and the
+two-phase latch form; :func:`make_cycle_simulator` selects by name.
+The differential harness in :mod:`repro.testing` is what relates the
+cycle engines to the event engines.
 """
 
 from __future__ import annotations
@@ -20,12 +23,24 @@ from __future__ import annotations
 from repro.netlist.core import Netlist
 from repro.sim.compiled import CompiledSimulator
 from repro.sim.simulator import EventSimulator
+from repro.sim.sync import CycleSimulator, LatchCycleSimulator
+from repro.sim.vector import VectorCycleSimulator, VectorLatchCycleSimulator
 from repro.utils.errors import SimulationError
 
 #: Name -> class for the interchangeable event-driven engines.
 EVENT_BACKENDS: dict[str, type] = {
     "event": EventSimulator,
     "compiled": CompiledSimulator,
+}
+
+#: Name -> class for the cycle-stepping engines (globally-clocked
+#: netlists only).  ``cycle``/``latch-cycle`` are the scalar reference
+#: semantics; ``vector``/``vector-latch`` advance many lanes per pass.
+CYCLE_BACKENDS: dict[str, type] = {
+    "cycle": CycleSimulator,
+    "latch-cycle": LatchCycleSimulator,
+    "vector": VectorCycleSimulator,
+    "vector-latch": VectorLatchCycleSimulator,
 }
 
 #: The project-wide default engine.  Deliberately the interpreter: it
@@ -39,6 +54,11 @@ DEFAULT_BACKEND = "event"
 def backend_names() -> list[str]:
     """Registered event-backend names, sorted."""
     return sorted(EVENT_BACKENDS)
+
+
+def cycle_backend_names() -> list[str]:
+    """Registered cycle-backend names, sorted."""
+    return sorted(CYCLE_BACKENDS)
 
 
 def make_simulator(netlist: Netlist, backend: str = DEFAULT_BACKEND,
@@ -55,4 +75,20 @@ def make_simulator(netlist: Netlist, backend: str = DEFAULT_BACKEND,
         raise SimulationError(
             f"unknown simulator backend {backend!r} "
             f"(have: {', '.join(backend_names())})") from None
+    return cls(netlist, **kwargs)
+
+
+def make_cycle_simulator(netlist: Netlist, backend: str = "cycle", **kwargs):
+    """Instantiate the cycle-stepping engine called ``backend``.
+
+    ``kwargs`` forward to the engine constructor (``record_toggles``
+    for the scalar engines, ``lanes`` for the vector ones).  Raises
+    :class:`SimulationError` for an unknown backend name.
+    """
+    try:
+        cls = CYCLE_BACKENDS[backend]
+    except KeyError:
+        raise SimulationError(
+            f"unknown cycle-simulator backend {backend!r} "
+            f"(have: {', '.join(cycle_backend_names())})") from None
     return cls(netlist, **kwargs)

@@ -13,11 +13,14 @@ in the de-synchronization flow:
   the high phase.
 
 Both record per-register **capture streams** — the sequences of stored
-values that flow equivalence compares — and per-net toggle counts for the
-activity-based power model.  They are orders of magnitude faster than the
-event-driven simulator because they evaluate each gate exactly once (or
-twice) per cycle in a precomputed topological order, which is what makes
-DLX-scale experiments tractable in pure Python.
+values that flow equivalence compares — and, unless constructed with
+``record_toggles=False``, per-net toggle counts for the activity-based
+power model.  They are orders of magnitude faster than the event-driven
+simulator because they evaluate each gate exactly once (or twice) per
+cycle in a precomputed topological order, which is what makes DLX-scale
+experiments tractable in pure Python.  The lane-parallel
+:mod:`repro.sim.vector` engines push the same evaluation model another
+order of magnitude by advancing many stimuli per pass.
 """
 
 from __future__ import annotations
@@ -30,10 +33,53 @@ from repro.sim.logic import Value, bits_to_int, int_to_bits
 from repro.utils.errors import SimulationError
 
 
-class CycleSimulator:
-    """Cycle-accurate simulator for DFF-based synchronous netlists."""
+def phase_order(netlist: Netlist, transparent: list[Instance]) -> list[Instance]:
+    """Topological order of gates plus transparent latches for a phase.
 
-    def __init__(self, netlist: Netlist):
+    Transparent latches act as buffers; opaque latches are sources.
+    Alternating parities guarantee acyclicity; a cycle here means the
+    netlist has a same-phase combinational loop and is rejected.
+    """
+    members: dict[str, Instance] = {
+        inst.name: inst for inst in netlist.comb_instances()}
+    for latch in transparent:
+        members[latch.name] = latch
+    indegree = {name: 0 for name in members}
+    dependents: dict[str, list[str]] = {name: [] for name in members}
+    for inst in members.values():
+        nets = (inst.input_nets() if inst.is_combinational
+                else [inst.data_net()])
+        for net in nets:
+            driver = net.driver_instance()
+            if driver is not None and driver.name in members:
+                indegree[inst.name] += 1
+                dependents[driver.name].append(inst.name)
+    ready = sorted(n for n, d in indegree.items() if d == 0)
+    order = []
+    queue = list(reversed(ready))
+    while queue:
+        name = queue.pop()
+        order.append(members[name])
+        for dep in dependents[name]:
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                queue.append(dep)
+    if len(order) != len(members):
+        raise SimulationError(
+            f"{netlist.name}: same-phase combinational loop")
+    return order
+
+
+class CycleSimulator:
+    """Cycle-accurate simulator for DFF-based synchronous netlists.
+
+    ``record_toggles=False`` skips the per-net toggle bookkeeping (used
+    only by the activity-based power model), which removes a dict update
+    from every net assignment — the fast path for equivalence sweeps and
+    benchmarks that only consume capture streams.
+    """
+
+    def __init__(self, netlist: Netlist, record_toggles: bool = True):
         if netlist.latch_instances():
             raise SimulationError(
                 f"{netlist.name} contains latches; use LatchCycleSimulator")
@@ -41,6 +87,7 @@ class CycleSimulator:
             raise SimulationError(
                 f"{netlist.name} contains C-elements; use EventSimulator")
         self.netlist = netlist
+        self.record_toggles = record_toggles
         self.values: dict[str, Value] = {name: None for name in netlist.nets}
         self.captures: dict[str, list[Value]] = defaultdict(list)
         self.toggle_counts: dict[str, int] = defaultdict(int)
@@ -61,13 +108,27 @@ class CycleSimulator:
             self._set(port, value)
 
     def evaluate(self) -> None:
-        """Propagate combinational logic to a fixed point (one pass)."""
-        for inst in self._order:
-            if inst.cell.kind is CellKind.TIE:
-                self._set(inst.output_net().name, inst.cell.tt & 1)
-                continue
-            bits = [self.values[inst.pins[p].name] for p in inst.cell.inputs]
-            self._set(inst.output_net().name, inst.cell.eval_ternary(bits))
+        """Evaluate the combinational logic once, in topological order.
+
+        A single pass suffices: the order is topological, so every gate
+        sees the final cycle values of its inputs — no fixed-point
+        iteration is needed (or performed).
+        """
+        values = self.values
+        if self.record_toggles:
+            for inst in self._order:
+                if inst.cell.kind is CellKind.TIE:
+                    self._set(inst.output_net().name, inst.cell.tt & 1)
+                    continue
+                bits = [values[inst.pins[p].name] for p in inst.cell.inputs]
+                self._set(inst.output_net().name, inst.cell.eval_ternary(bits))
+        else:
+            for inst in self._order:
+                if inst.cell.kind is CellKind.TIE:
+                    values[inst.output_net().name] = inst.cell.tt & 1
+                    continue
+                values[inst.output_net().name] = inst.cell.eval_ternary(
+                    [values[inst.pins[p].name] for p in inst.cell.inputs])
 
     def step(self, inputs: dict[str, Value] | None = None) -> None:
         """One full clock cycle: apply inputs, evaluate, clock the FFs."""
@@ -109,7 +170,7 @@ class CycleSimulator:
         if old == value:
             return
         self.values[net] = value
-        if old is not None and value is not None:
+        if self.record_toggles and old is not None and value is not None:
             self.toggle_counts[net] += 1
 
 
@@ -126,14 +187,16 @@ class LatchCycleSimulator:
 
     Primary inputs are applied at the start of the high phase, matching
     the flip-flop simulator's convention (inputs stable around the rising
-    edge).
+    edge).  ``record_toggles=False`` skips the per-net toggle bookkeeping
+    exactly as in :class:`CycleSimulator`.
     """
 
-    def __init__(self, netlist: Netlist):
+    def __init__(self, netlist: Netlist, record_toggles: bool = True):
         if netlist.dff_instances():
             raise SimulationError(
                 f"{netlist.name} contains flip-flops; latchify first")
         self.netlist = netlist
+        self.record_toggles = record_toggles
         self.values: dict[str, Value] = {name: None for name in netlist.nets}
         self.captures: dict[str, list[Value]] = defaultdict(list)
         self.toggle_counts: dict[str, int] = defaultdict(int)
@@ -144,48 +207,12 @@ class LatchCycleSimulator:
                      if l.cell.kind is CellKind.LATCH_HIGH]
         if not self._even and not self._odd:
             raise SimulationError(f"{netlist.name} has no latches")
-        self._order_high = self._phase_order(transparent=self._odd)
-        self._order_low = self._phase_order(transparent=self._even)
+        self._order_high = phase_order(netlist, transparent=self._odd)
+        self._order_low = phase_order(netlist, transparent=self._even)
         if netlist.clock is not None:
             self.values[netlist.clock] = 0
         for latch in netlist.latch_instances():
             self._set(latch.output_net().name, latch.init)
-
-    def _phase_order(self, transparent: list[Instance]) -> list:
-        """Topological order of gates plus transparent latches for a phase.
-
-        Transparent latches act as buffers; opaque latches are sources.
-        Alternating parities guarantee acyclicity; a cycle here means the
-        netlist has a same-phase combinational loop and is rejected.
-        """
-        members: dict[str, Instance] = {
-            inst.name: inst for inst in self.netlist.comb_instances()}
-        for latch in transparent:
-            members[latch.name] = latch
-        indegree = {name: 0 for name in members}
-        dependents: dict[str, list[str]] = {name: [] for name in members}
-        for inst in members.values():
-            nets = (inst.input_nets() if inst.is_combinational
-                    else [inst.data_net()])
-            for net in nets:
-                driver = net.driver_instance()
-                if driver is not None and driver.name in members:
-                    indegree[inst.name] += 1
-                    dependents[driver.name].append(inst.name)
-        ready = sorted(n for n, d in indegree.items() if d == 0)
-        order = []
-        queue = list(reversed(ready))
-        while queue:
-            name = queue.pop()
-            order.append(members[name])
-            for dep in dependents[name]:
-                indegree[dep] -= 1
-                if indegree[dep] == 0:
-                    queue.append(dep)
-        if len(order) != len(members):
-            raise SimulationError(
-                f"{self.netlist.name}: same-phase combinational loop")
-        return order
 
     # ------------------------------------------------------------------
     def set_inputs(self, inputs: dict[str, Value]) -> None:
@@ -196,16 +223,30 @@ class LatchCycleSimulator:
             self._set(port, value)
 
     def _evaluate_phase(self, order: list) -> None:
-        for inst in order:
-            if inst.is_sequential:
-                self._set(inst.output_net().name,
-                          self.values[inst.data_net().name])
-            elif inst.cell.kind is CellKind.TIE:
-                self._set(inst.output_net().name, inst.cell.tt & 1)
-            else:
-                bits = [self.values[inst.pins[p].name]
-                        for p in inst.cell.inputs]
-                self._set(inst.output_net().name, inst.cell.eval_ternary(bits))
+        values = self.values
+        if self.record_toggles:
+            for inst in order:
+                if inst.is_sequential:
+                    self._set(inst.output_net().name,
+                              values[inst.data_net().name])
+                elif inst.cell.kind is CellKind.TIE:
+                    self._set(inst.output_net().name, inst.cell.tt & 1)
+                else:
+                    bits = [values[inst.pins[p].name]
+                            for p in inst.cell.inputs]
+                    self._set(inst.output_net().name,
+                              inst.cell.eval_ternary(bits))
+        else:
+            for inst in order:
+                if inst.is_sequential:
+                    values[inst.output_net().name] = \
+                        values[inst.data_net().name]
+                elif inst.cell.kind is CellKind.TIE:
+                    values[inst.output_net().name] = inst.cell.tt & 1
+                else:
+                    values[inst.output_net().name] = inst.cell.eval_ternary(
+                        [values[inst.pins[p].name]
+                         for p in inst.cell.inputs])
 
     def _capture(self, latches: list[Instance]) -> None:
         for latch in latches:
@@ -258,5 +299,5 @@ class LatchCycleSimulator:
         if old == value:
             return
         self.values[net] = value
-        if old is not None and value is not None:
+        if self.record_toggles and old is not None and value is not None:
             self.toggle_counts[net] += 1

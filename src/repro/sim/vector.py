@@ -1,0 +1,457 @@
+"""Lane-parallel, code-generated cycle simulation.
+
+The cycle engines in :mod:`repro.sim.sync` evaluate one stimulus at a
+time through per-gate dict lookups and :meth:`Cell.eval_ternary` calls.
+The engines here evaluate **W independent stimulus streams per pass** by
+packing, for every net, one bit per *lane* (stimulus stream) into plain
+Python integers, and compiling the netlist's combinational cone — in the
+cached topological order — into a single ``exec``'d function of bitwise
+operations over those words.  One pass through the generated function
+advances all W lanes one evaluation, so the per-stimulus cost of a sweep
+drops by roughly the lane count.
+
+**Encoding.**  Each net carries two words:
+
+* ``value`` — bit *i* is the lane-*i* logic value (meaningful only where
+  known);
+* ``known`` — bit *i* set iff lane *i* is a determined 0/1 (clear = X).
+
+The invariant ``value & ~known == 0`` is maintained everywhere, which is
+what lets the generated expressions use ``known ^ value`` for
+"known zero" without masking.
+
+**Ternary exactness.**  Generated expressions must match
+:meth:`repro.netlist.cells.Cell.eval_ternary` bit for bit: an output
+lane is known iff every completion of its X inputs agrees.  Common
+functions (BUF/INV, AND/NAND, OR/NOR, XOR/XNOR — detected from the
+truth table, not the cell name) get hand-specialized expressions whose
+equivalence is argued locally; every other cell (MUX2, AOI21, OAI21,
+anything user-defined) goes through a *possibility-set* construction
+that mirrors ``eval_ternary``'s enumeration directly: per input,
+``can1 = value | ~known`` and ``can0 = ~value``; per truth-table
+minterm, the AND of its input possibilities; the output is known where
+not both a 1-minterm and a 0-minterm are reachable.  The test suite
+closes the loop by sweeping every library cell over all ternary input
+combinations, one combination per lane.
+
+Two engines mirror the scalar pair: :class:`VectorCycleSimulator` for
+DFF netlists and :class:`VectorLatchCycleSimulator` for two-phase latch
+netlists (post-latchify).  Neither models per-net toggle counts (the
+power model runs on the scalar/event engines); per-register toggle
+counts are recoverable exactly from ``init`` plus the capture stream,
+which is how the differential harness compares them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.netlist.cells import Cell, CellKind, PIN_D, PIN_RESET_N
+from repro.netlist.core import Instance, Netlist
+from repro.sim.logic import Value
+from repro.sim.sync import phase_order
+from repro.utils.errors import SimulationError
+
+#: Default lane count: one machine word on the platforms we care about,
+#: the sweet spot between per-pass overhead amortization and keeping the
+#: packed integers single-digit words.  Any positive count works (the
+#: words are plain Python integers).
+VECTOR_LANES = 64
+
+#: A packed lane word pair: (value bits, known bits).
+Lanes = tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# packing helpers
+# ----------------------------------------------------------------------
+
+def pack_lanes(values: Iterable[Value]) -> Lanes:
+    """Pack scalar values (lane 0 first) into a ``(value, known)`` pair."""
+    value = known = 0
+    bit = 1
+    for scalar in values:
+        if scalar is not None:
+            known |= bit
+            if scalar:
+                value |= bit
+        bit <<= 1
+    return value, known
+
+
+def unpack_lanes(packed: Lanes, lanes: int) -> list[Value]:
+    """Unpack a ``(value, known)`` pair into ``lanes`` scalar values."""
+    value, known = packed
+    return [(value >> i) & 1 if (known >> i) & 1 else None
+            for i in range(lanes)]
+
+
+def pack_stimuli(stimuli: list[list[dict[str, Value]]],
+                 ) -> list[dict[str, Lanes]]:
+    """Pack N scalar per-cycle stimuli into one lane-parallel stimulus.
+
+    ``stimuli[i]`` becomes lane *i*.  All stimuli must have the same
+    length and drive the same ports each cycle — per-lane *partial*
+    vectors cannot be expressed with whole-word writes (a lane whose
+    scalar run would leave a port untouched has no packed equivalent),
+    so mismatched port sets raise.
+    """
+    if not stimuli:
+        return []
+    lengths = {len(stimulus) for stimulus in stimuli}
+    if len(lengths) != 1:
+        raise SimulationError(
+            f"lane stimuli have differing lengths {sorted(lengths)}")
+    packed: list[dict[str, Lanes]] = []
+    for cycle in range(lengths.pop()):
+        ports = set(stimuli[0][cycle])
+        for lane, stimulus in enumerate(stimuli[1:], start=1):
+            if set(stimulus[cycle]) != ports:
+                raise SimulationError(
+                    f"lane {lane} drives different ports than lane 0 "
+                    f"at cycle {cycle}")
+        packed.append({
+            port: pack_lanes([stimulus[cycle][port] for stimulus in stimuli])
+            for port in sorted(ports)})
+    return packed
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+
+def _emit_cell(cell: Cell, ins: list[tuple[str, str]],
+               vo: str, ko: str) -> list[str]:
+    """Source lines computing ``(vo, ko)`` = ternary eval of ``cell``.
+
+    ``ins`` holds the ``(value, known)`` variable names per input pin,
+    in pin order.  ``M`` (the all-lanes mask) is in scope.  Relies on
+    the ``value & ~known == 0`` invariant and preserves it.
+    """
+    n = cell.n_inputs
+    size = 1 << n
+    full = (1 << size) - 1
+    tt = cell.tt & full
+    vs = [v for v, _ in ins]
+    ks = [k for _, k in ins]
+    if tt == 0:  # constant 0 regardless of inputs
+        return [f"{vo} = 0", f"{ko} = M"]
+    if tt == full:  # constant 1
+        return [f"{vo} = M", f"{ko} = M"]
+    if n == 1:
+        if tt == 0b10:  # buffer
+            return [f"{vo} = {vs[0]}", f"{ko} = {ks[0]}"]
+        # tt == 0b01: inverter — known lanes flip, X lanes stay X.
+        return [f"{vo} = {ks[0]} ^ {vs[0]}", f"{ko} = {ks[0]}"]
+    # known-one per input is just its value word; known-zero is k ^ v.
+    ones = " & ".join(vs)
+    someone = " | ".join(vs)
+    somezero = " | ".join(f"({k} ^ {v})" for v, k in ins)
+    allzero = " & ".join(f"({k} ^ {v})" for v, k in ins)
+    if tt == 1 << (size - 1):  # AND: 1 iff all one; 0 iff any known zero
+        return [f"{vo} = {ones}", f"{ko} = {vo} | {somezero}"]
+    if tt == full ^ (1 << (size - 1)):  # NAND
+        return [f"{vo} = {somezero}", f"{ko} = ({ones}) | {vo}"]
+    if tt == full ^ 1:  # OR: 1 iff any known one; 0 iff all known zero
+        return [f"{vo} = {someone}", f"{ko} = {vo} | ({allzero})"]
+    if tt == 1:  # NOR
+        return [f"{vo} = {allzero}", f"{ko} = {someone} | {vo}"]
+    if n == 2 and tt in (0b0110, 0b1001):  # XOR / XNOR: X-strict
+        lines = [f"{ko} = {ks[0]} & {ks[1]}"]
+        if tt == 0b0110:
+            lines.append(f"{vo} = ({vs[0]} ^ {vs[1]}) & {ko}")
+        else:
+            lines.append(f"{vo} = {ko} & ~({vs[0]} ^ {vs[1]})")
+        return lines
+    # Generic cell: possibility sets + minterm enumeration — the literal
+    # lane-parallel transcription of eval_ternary.  can1/can0 per input
+    # are the lanes where that input may evaluate to 1/0 under some
+    # completion of its X lanes; a minterm is reachable in a lane iff
+    # every factor is possible there; the output is known where only
+    # one polarity of minterm is reachable.
+    lines = []
+    can1 = []
+    can0 = []
+    for j, (v, k) in enumerate(ins):
+        can1.append(f"{vo}_a{j}")
+        can0.append(f"{vo}_b{j}")
+        lines.append(f"{can1[j]} = {v} | (M ^ {k})")
+        lines.append(f"{can0[j]} = M ^ {v}")
+    products1 = []
+    products0 = []
+    for combo in range(size):
+        product = " & ".join(
+            can1[j] if (combo >> j) & 1 else can0[j] for j in range(n))
+        (products1 if (tt >> combo) & 1 else products0).append(f"({product})")
+    lines.append(f"{vo}_c1 = " + " | ".join(products1))
+    lines.append(f"{vo}_c0 = " + " | ".join(products0))
+    lines.append(f"{ko} = M ^ ({vo}_c1 & {vo}_c0)")
+    lines.append(f"{vo} = {vo}_c1 & {ko}")
+    return lines
+
+
+def compile_pass(netlist: Netlist, order: list[Instance],
+                 slot_of: dict[str, int], lanes: int):
+    """Compile one evaluation pass over ``order`` into a function.
+
+    Returns ``(fn, source)``: ``fn(V, K)`` reads the slot-indexed value/
+    known word lists, evaluates every instance of ``order`` (gates
+    through :func:`_emit_cell`, transparent latches as buffers, TIEs as
+    constants) with all intermediates held in locals, and writes every
+    computed net back.  ``source`` is kept for debugging.
+    """
+    body: list[str] = []
+    computed: list[int] = []
+    computed_set: set[int] = set()
+    reads: set[int] = set()
+    for inst in order:
+        out = slot_of[inst.output_net().name]
+        vo, ko = f"v{out}", f"k{out}"
+        if inst.is_sequential:  # transparent latch: combinational buffer
+            data = slot_of[inst.data_net().name]
+            reads.add(data)
+            body += [f"{vo} = v{data}", f"{ko} = k{data}"]
+        elif inst.cell.kind is CellKind.TIE:
+            body += [f"{vo} = {'M' if inst.cell.tt & 1 else '0'}",
+                     f"{ko} = M"]
+        else:
+            ins = []
+            for pin in inst.cell.inputs:
+                slot = slot_of[inst.pins[pin].name]
+                reads.add(slot)
+                ins.append((f"v{slot}", f"k{slot}"))
+            body += _emit_cell(inst.cell, ins, vo, ko)
+        computed.append(out)
+        computed_set.add(out)
+    lines = ["def _eval(V, K):"]
+    for slot in sorted(reads - computed_set):
+        lines.append(f"    v{slot} = V[{slot}]; k{slot} = K[{slot}]")
+    lines.extend("    " + line for line in body)
+    for slot in computed:
+        lines.append(f"    V[{slot}] = v{slot}; K[{slot}] = k{slot}")
+    if len(lines) == 1:
+        lines.append("    pass")
+    source = "\n".join(lines)
+    namespace: dict[str, object] = {"M": (1 << lanes) - 1}
+    exec(source, namespace)  # noqa: S102 — source generated just above
+    return namespace["_eval"], source
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
+
+class _VectorSimulatorBase:
+    """Shared packing, stimulus and observation surface of both engines."""
+
+    def __init__(self, netlist: Netlist, lanes: int):
+        if lanes < 1:
+            raise SimulationError(f"lane count must be >= 1, got {lanes}")
+        self.netlist = netlist
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        self._names = list(netlist.nets)
+        self._slot_of = {name: i for i, name in enumerate(self._names)}
+        self.V: list[int] = [0] * len(self._names)
+        self.K: list[int] = [0] * len(self._names)
+        self.cycles = 0
+        #: Packed capture streams: register name -> [(value, known)] per
+        #: capture, lane-demuxed by :meth:`lane_captures`.
+        self.captures: dict[str, list[Lanes]] = {}
+        if netlist.clock is not None:
+            self.K[self._slot_of[netlist.clock]] = self.mask
+
+    def _seq_slots(self, inst: Instance) -> tuple[int, int, int, list]:
+        """(D slot, RN slot or -1, output slot, capture list) of ``inst``;
+        initializes the output words to the known init value."""
+        out = self._slot_of[inst.output_net().name]
+        self.V[out] = self.mask if inst.init else 0
+        self.K[out] = self.mask
+        reset = (self._slot_of[inst.pins[PIN_RESET_N].name]
+                 if PIN_RESET_N in inst.cell.inputs else -1)
+        caps: list[Lanes] = []
+        self.captures[inst.name] = caps
+        return (self._slot_of[inst.pins[PIN_D].name], reset, out, caps)
+
+    # -- stimulus ------------------------------------------------------
+    def set_inputs(self, inputs: dict[str, Lanes | Value]) -> None:
+        """Drive input ports with packed ``(value, known)`` pairs.
+
+        Scalar values broadcast: ``0``/``1`` drive every lane, ``None``
+        makes every lane X.
+        """
+        mask = self.mask
+        for port, packed in inputs.items():
+            net = self.netlist.nets.get(port)
+            if net is None or not net.is_input_port:
+                raise SimulationError(f"{port} is not an input port")
+            if isinstance(packed, tuple):
+                value, known = packed
+                if known >> self.lanes or value & ~known:
+                    raise SimulationError(
+                        f"packed word for {port} spills outside "
+                        f"{self.lanes} lanes or has value bits in "
+                        f"unknown lanes")
+            elif packed is None:
+                value = known = 0
+            else:
+                value, known = (mask if packed else 0), mask
+            slot = self._slot_of[port]
+            self.V[slot] = value
+            self.K[slot] = known
+
+    def drive_lanes(self, port: str, values: Iterable[Value]) -> None:
+        """Drive ``port`` with one scalar value per lane (lane 0 first)."""
+        self.set_inputs({port: pack_lanes(values)})
+
+    # -- observation ---------------------------------------------------
+    def packed_value(self, net: str) -> Lanes:
+        slot = self._slot_of[net]
+        return self.V[slot], self.K[slot]
+
+    def lane_value(self, net: str, lane: int) -> Value:
+        slot = self._slot_of[net]
+        if (self.K[slot] >> lane) & 1:
+            return (self.V[slot] >> lane) & 1
+        return None
+
+    def lane_values(self, lane: int) -> dict[str, Value]:
+        """Every net's value as lane ``lane`` sees it."""
+        return {name: self.lane_value(name, lane) for name in self._names}
+
+    def lane_captures(self, lane: int) -> dict[str, list[Value]]:
+        """Demux one lane's capture streams to scalar values."""
+        return {
+            name: [(value >> lane) & 1 if (known >> lane) & 1 else None
+                   for value, known in stream]
+            for name, stream in self.captures.items()}
+
+    def _capture(self, registers: list[tuple[int, int, int, list]],
+                 defer: bool) -> None:
+        """Capture D (with per-lane async-reset override) per register.
+
+        With ``defer`` all data reads happen before any output write —
+        the scalar DFF engine's read-all-then-write-all edge; without
+        it each register's output updates in list order, matching the
+        scalar latch engine's capture loop.
+        """
+        V, K = self.V, self.K
+        writes = []
+        for data, reset, out, caps in registers:
+            value, known = V[data], K[data]
+            if reset >= 0:
+                clear = K[reset] & ~V[reset]
+                if clear:
+                    value &= ~clear
+                    known |= clear
+            caps.append((value, known))
+            if defer:
+                writes.append((out, value, known))
+            else:
+                V[out] = value
+                K[out] = known
+        for out, value, known in writes:
+            V[out] = value
+            K[out] = known
+
+    def run(self, cycles: int,
+            inputs_per_cycle: list[dict[str, Lanes | Value]] | None = None,
+            ) -> None:
+        for k in range(cycles):
+            self.step(inputs_per_cycle[k] if inputs_per_cycle else None)
+
+    def step(self, inputs=None) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class VectorCycleSimulator(_VectorSimulatorBase):
+    """Lane-parallel cycle simulator for DFF-based synchronous netlists.
+
+    The lane-parallel counterpart of
+    :class:`~repro.sim.sync.CycleSimulator`: same cycle convention
+    (inputs applied, one topological evaluation, all DFFs sample on the
+    virtual rising edge), identical per-lane capture streams — verified
+    by the differential harness — at a per-stimulus cost roughly
+    ``lanes`` times lower.
+    """
+
+    def __init__(self, netlist: Netlist, lanes: int = VECTOR_LANES):
+        if netlist.latch_instances():
+            raise SimulationError(
+                f"{netlist.name} contains latches; "
+                "use VectorLatchCycleSimulator")
+        if netlist.celement_instances():
+            raise SimulationError(
+                f"{netlist.name} contains C-elements; use EventSimulator")
+        super().__init__(netlist, lanes)
+        # Memoized on the netlist: every same-width pass of a batch
+        # sweep (ceil(N/lanes) blocks construct one simulator each)
+        # shares a single generated function instead of recompiling it.
+        self._eval, self.source = netlist.memo(
+            ("vector_eval", "comb", lanes),
+            lambda: compile_pass(netlist, netlist.topo_order_comb_only(),
+                                 self._slot_of, lanes))
+        self._ffs = [self._seq_slots(ff) for ff in netlist.dff_instances()]
+
+    def evaluate(self) -> None:
+        """One pass of the generated combinational function, all lanes."""
+        self._eval(self.V, self.K)
+
+    def step(self, inputs: dict[str, Lanes | Value] | None = None) -> None:
+        """One clock cycle: apply inputs, evaluate, clock the FFs."""
+        if inputs:
+            self.set_inputs(inputs)
+        self._eval(self.V, self.K)
+        self._capture(self._ffs, defer=True)
+        self.cycles += 1
+
+
+class VectorLatchCycleSimulator(_VectorSimulatorBase):
+    """Lane-parallel cycle simulator for two-phase latch netlists.
+
+    The lane-parallel counterpart of
+    :class:`~repro.sim.sync.LatchCycleSimulator`: each step runs the low
+    phase (even latches transparent), captures the even latches on the
+    rising edge, runs the high phase (odd latches transparent) and
+    captures the odd latches on the falling edge — one generated
+    function per phase, compiled over that phase's topological order
+    with the transparent latches inlined as buffers.
+    """
+
+    def __init__(self, netlist: Netlist, lanes: int = VECTOR_LANES):
+        if netlist.dff_instances():
+            raise SimulationError(
+                f"{netlist.name} contains flip-flops; latchify first")
+        even = [l for l in netlist.latch_instances()
+                if l.cell.kind is CellKind.LATCH_LOW]
+        odd = [l for l in netlist.latch_instances()
+               if l.cell.kind is CellKind.LATCH_HIGH]
+        if not even and not odd:
+            raise SimulationError(f"{netlist.name} has no latches")
+        super().__init__(netlist, lanes)
+        self._eval_low, source_low = netlist.memo(
+            ("vector_eval", "latch_low", lanes),
+            lambda: compile_pass(netlist,
+                                 phase_order(netlist, transparent=even),
+                                 self._slot_of, lanes))
+        self._eval_high, source_high = netlist.memo(
+            ("vector_eval", "latch_high", lanes),
+            lambda: compile_pass(netlist,
+                                 phase_order(netlist, transparent=odd),
+                                 self._slot_of, lanes))
+        self.source = source_low + "\n\n" + source_high
+        self._even = [self._seq_slots(latch) for latch in even]
+        self._odd = [self._seq_slots(latch) for latch in odd]
+
+    def step(self, inputs: dict[str, Lanes | Value] | None = None) -> None:
+        """One clock cycle: low phase, even capture, high phase, odd
+        capture — aligned with :class:`VectorCycleSimulator` the same
+        way the scalar pair aligns (k-th master capture = k-th flip-flop
+        capture)."""
+        if inputs:
+            self.set_inputs(inputs)
+        self._eval_low(self.V, self.K)
+        self._capture(self._even, defer=False)
+        self._eval_high(self.V, self.K)
+        self._capture(self._odd, defer=False)
+        self.cycles += 1

@@ -11,6 +11,7 @@ for the model.
 
 from repro.testing.differential import (
     DEFAULT_BACKENDS,
+    DEFAULT_BATCH_BACKENDS,
     BackendRun,
     DifferentialReport,
     Mismatch,
@@ -20,11 +21,14 @@ from repro.testing.differential import (
     drive_clocked,
     minimize_prefix,
     run_differential,
+    run_differential_batch,
+    vector_runs,
 )
 from repro.testing.stimulus import DEFAULT_SEED, data_inputs, random_stimulus
 
 __all__ = [
     "DEFAULT_BACKENDS",
+    "DEFAULT_BATCH_BACKENDS",
     "DEFAULT_SEED",
     "BackendRun",
     "DifferentialReport",
@@ -37,4 +41,6 @@ __all__ = [
     "minimize_prefix",
     "random_stimulus",
     "run_differential",
+    "run_differential_batch",
+    "vector_runs",
 ]

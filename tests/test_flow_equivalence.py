@@ -231,6 +231,7 @@ class TestMutationDetection:
             delayed.sinks.remove((token, "R"))
             token.pins["R"] = raw
             raw.sinks.append((token, "R"))
+            netlist.invalidate_query_caches()  # direct structural edit
 
         constant = desynchronize(two_stage_pipeline())
         bypass(constant)

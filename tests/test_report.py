@@ -1,0 +1,48 @@
+"""Tests for the report helpers: the versioned JSON artifact envelope."""
+
+import json
+import os
+
+import pytest
+
+from repro.report import JSON_SCHEMA, git_short_sha, write_csv, write_json
+
+
+class TestWriteJson:
+    def test_envelope_shape(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        write_json(path, ["name", "value"], [["a", 1], ["b", 2.5]])
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert set(payload) == {"schema", "git_sha", "columns", "rows"}
+        assert payload["schema"] == JSON_SCHEMA
+        assert payload["columns"] == ["name", "value"]
+        assert payload["rows"] == [{"name": "a", "value": 1},
+                                   {"name": "b", "value": 2.5}]
+        # The recorded sha must match what the artifact's own directory
+        # resolves to — None outside a repository (tarball installs),
+        # the checkout's sha if tmp_path happens to land inside one.
+        assert payload["git_sha"] == git_short_sha(str(tmp_path))
+
+    def test_sha_present_inside_a_repository(self, tmp_path):
+        here = os.path.dirname(os.path.abspath(__file__))
+        sha = git_short_sha(here)
+        if sha is None:
+            pytest.skip("git unavailable or not a checkout")
+        assert sha == sha.strip() and len(sha) >= 4
+        int(sha, 16)  # abbreviated hashes are hex
+
+    def test_duplicate_columns_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="duplicate column"):
+            write_json(str(tmp_path / "x.json"), ["a", "a"], [[1, 2]])
+
+    def test_row_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="row 1 has 1 cells"):
+            write_json(str(tmp_path / "x.json"), ["a", "b"],
+                       [[1, 2], [3]])
+
+    def test_csv_unchanged(self, tmp_path):
+        path = str(tmp_path / "x.csv")
+        write_csv(path, ["a", "b"], [[1, 2]])
+        with open(path) as handle:
+            assert handle.read() == "a,b\n1,2\n"

@@ -251,6 +251,39 @@ class TestLatchCycleSimulator:
             LatchCycleSimulator(lfsr3())
 
 
+class TestTogglesFastPath:
+    """record_toggles=False: identical behaviour, no toggle bookkeeping."""
+
+    def test_cycle_simulator(self):
+        from repro.corpus import generate
+        from repro.testing import random_stimulus
+        netlist = generate("crc5")
+        stimulus = random_stimulus(netlist, 12, seed=3)
+        slow = CycleSimulator(netlist)
+        fast = CycleSimulator(netlist, record_toggles=False)
+        slow.run(12, stimulus)
+        fast.run(12, stimulus)
+        assert dict(fast.captures) == dict(slow.captures)
+        assert fast.values == slow.values
+        assert dict(slow.toggle_counts)      # the power model's input
+        assert not fast.toggle_counts        # skipped entirely
+
+    def test_latch_simulator(self):
+        from repro.corpus import generate
+        from repro.desync import latchify
+        from repro.testing import random_stimulus
+        latched = latchify(generate("crc5"))
+        stimulus = random_stimulus(latched, 10, seed=3)
+        slow = LatchCycleSimulator(latched)
+        fast = LatchCycleSimulator(latched, record_toggles=False)
+        slow.run(10, stimulus)
+        fast.run(10, stimulus)
+        assert dict(fast.captures) == dict(slow.captures)
+        assert fast.values == slow.values
+        assert dict(slow.toggle_counts)
+        assert not fast.toggle_counts
+
+
 class TestWaves:
     def test_wave_at(self):
         group = WaveGroup()
