@@ -15,15 +15,17 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import write_out
-from repro.desync import DesyncOptions, HandshakeMode, desynchronize
+from repro.desync import DesyncOptions, HandshakeMode, run_pipeline
 from repro.report import TextTable, write_csv
 from tests.circuits import inverter_pipeline, ripple_counter
 
 
 def _cycle(netlist, mode, margin=0.10):
-    result = desynchronize(netlist, DesyncOptions(mode=mode, margin=margin,
-                                                  validate_model=False))
-    return result.desync_cycle_time().cycle_time, result.sync_period()
+    # Pipeline API: the ablations only need the timed model, so the
+    # FlowContext is consumed directly (no DesyncResult packaging).
+    ctx = run_pipeline(netlist, DesyncOptions(mode=mode, margin=margin,
+                                              validate_model=False))
+    return ctx.desync_cycle_time().cycle_time, ctx.sync_period()
 
 
 @pytest.mark.benchmark(group="ablations")

@@ -1,0 +1,100 @@
+"""BENCH pipeline — the (corpus config x pipeline variant) sweep.
+
+Drives :func:`repro.desync.pipeline.sweep_pipelines` over the corpus
+registry and the stock variant grid (clustering-strategy spectrum,
+partial sync-island conversion, related-work baseline pass sequences).
+Full-flow variants are verified by the batched flow-equivalence checker
+— synchronous reference streams lane-parallel on the vector backend,
+the self-timed side event-driven — and hold-screened on the timed
+model; model-only baselines report cycle-time metrics.
+
+Artifacts: ``benchmarks/out/BENCH_pipeline.txt`` (paper-style table)
+and ``benchmarks/out/BENCH_pipeline.json`` (versioned series for the
+perf trajectory, alongside BENCH_corpus / BENCH_sim / BENCH_vector).
+
+Grid size: set ``REPRO_PIPELINE_GRID=smoke`` for the CI smoke subset
+(small configs only); the default sweeps the whole registry.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_pipeline_sweep.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import out_path, write_out
+from repro.desync import sweep_pipelines
+from repro.report import TextTable, write_json
+
+#: Small-but-diverse subset for the CI smoke job: a feed-forward
+#: pipeline (every strategy applies), a feedback shape (per-register is
+#: structurally invalid there — the sweep must report, not fail), and a
+#: fork/join.
+SMOKE_CONFIGS = ["pipe4x1", "pipe4x4", "counter6", "diamond2x4"]
+
+#: Pre-existing fabric issue surfaced by this sweep (not introduced by
+#: the pipeline refactor — the produced netlists are byte-identical to
+#: the monolithic flow's): fir8's accumulator joins eight taps plus its
+#: own feedback, and the serial-mode fabric diverges on that wide join
+#: (fir5's five-way join is fine).  Coarser clustering strategies merge
+#: the join away, which is why greedy-cap/single pass on the same
+#: design.  Tracked in ROADMAP.md; the sweep must keep *reporting* the
+#: failure rather than hiding the rows.
+KNOWN_DIVERGENT = {
+    ("fir8", "scc-serial"),
+    ("fir8", "per-register-serial"),
+}
+
+
+def _grid() -> list[str] | None:
+    if os.environ.get("REPRO_PIPELINE_GRID") == "smoke":
+        return [name for name in SMOKE_CONFIGS]
+    return None  # the whole registry
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_bench_pipeline_sweep(benchmark):
+    configs = _grid()
+    columns, rows = benchmark.pedantic(
+        sweep_pipelines, kwargs={"configs": configs, "seeds": (0, 1),
+                                 "cycles": 10},
+        rounds=1, iterations=1)
+
+    table = TextTable("BENCH pipeline - strategy x corpus sweep", columns)
+    for row in rows:
+        table.add_row(*(("-" if cell is None else
+                         f"{cell:.3f}" if isinstance(cell, float) else cell)
+                        for cell in row))
+    table.print()
+    write_out("BENCH_pipeline.txt", table.render())
+    write_json(out_path("BENCH_pipeline.json"), columns, rows)
+
+    by = [dict(zip(columns, row)) for row in rows]
+    n_configs = len({cell["config"] for cell in by})
+    assert n_configs == (len(configs) if configs else 13)
+
+    # The acceptance floor: at least three clustering strategies and at
+    # least one partial-desync configuration verified equivalent (and
+    # hold-clean) end to end somewhere in the grid.
+    ok = [cell for cell in by if cell["status"] == "ok"]
+    ok_strategies = {cell["strategy"] for cell in ok}
+    assert len(ok_strategies) >= 3, ok_strategies
+    assert any(cell["sync_island"] for cell in ok)
+    # No verified variant may fail beyond the known-divergent set
+    # ("failed" = divergence, "failed: ..." = stall/harness error).
+    failed = {(cell["config"], cell["variant"]) for cell in by
+              if cell["status"].startswith("failed")}
+    assert failed <= KNOWN_DIVERGENT, failed - KNOWN_DIVERGENT
+    # Baseline pass sequences produce model-level rows for every config.
+    baselines = [cell for cell in by if cell["status"] == "model-only"]
+    assert len(baselines) == 2 * n_configs
+    # The shape the baselines exist to show, on real netlists: strict
+    # alternation is never faster than the DLAP overlap class.
+    for config in {cell["config"] for cell in by}:
+        dlap = next(c for c in by if c["config"] == config
+                    and c["variant"] == "dlap")
+        non = next(c for c in by if c["config"] == config
+                   and c["variant"] == "nonoverlap")
+        assert non["desync_cycle_ps"] >= dlap["desync_cycle_ps"]

@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.desync import DesyncOptions, desynchronize
+from repro.desync import DesyncOptions, make_result, run_pipeline
 from repro.dlx import DlxConfig, build_dlx
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -41,9 +41,11 @@ def dlx_sim_scale():
 
 @pytest.fixture(scope="session")
 def desync_paper_scale(dlx_paper_scale):
-    return desynchronize(dlx_paper_scale.netlist, DesyncOptions())
+    ctx = run_pipeline(dlx_paper_scale.netlist, DesyncOptions())
+    write_out("table1_provenance.txt", ctx.provenance())
+    return make_result(ctx)
 
 
 @pytest.fixture(scope="session")
 def desync_sim_scale(dlx_sim_scale):
-    return desynchronize(dlx_sim_scale.netlist, DesyncOptions())
+    return make_result(run_pipeline(dlx_sim_scale.netlist, DesyncOptions()))

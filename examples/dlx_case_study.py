@@ -34,9 +34,7 @@ def main() -> None:
     print()
     print(result.describe())
 
-    desync_run = system.run_desync(result.desync_netlist,
-                                   result.desync_cycle_time().cycle_time,
-                                   max_cycles=120)
+    desync_run = system.run_desync(result, max_cycles=120)
     assert desync_run.halted
     assert desync_run.registers[3] == golden.registers[3]
     print(f"desync run: same program on the handshake fabric -> "

@@ -40,10 +40,15 @@ def main() -> None:
     print(f"synchronous design: {len(sync)} instances, "
           f"{len(sync.dff_instances())} flip-flops")
 
-    # The paper's flow: latchify, matched delays, handshake controllers.
+    # The paper's flow: latchify, matched delays, handshake controllers
+    # — run as the staged pass pipeline (repro.desync.pipeline).
     result = desynchronize(sync)
     print()
     print(result.describe())
+    print()
+    print("pass pipeline:")
+    for record in result.provenance:
+        print(f"  {record.describe()}")
 
     # The model the controllers implement (Figure 2 of the paper).
     print()

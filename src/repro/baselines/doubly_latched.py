@@ -17,8 +17,15 @@ controllers.  The bench quantifies cycle time and controller count.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
 from repro.stg.patterns import Parity, linear_pipeline
 from repro.stg.stg import Stg
+
+if TYPE_CHECKING:
+    from repro.netlist.core import Netlist
+    from repro.stg.desync_model import LatchBank
 
 
 def dlap_pipeline(stages: int, stage_delay: float,
@@ -46,3 +53,29 @@ def dlap_pipeline(stages: int, stage_delay: float,
 def dlap_controller_count(stages: int) -> int:
     """Handshake controllers a DLAP needs (two per stage)."""
     return 2 * stages
+
+
+def dlap_model(latched: "Netlist",
+               banks: dict[str, "LatchBank"] | None = None,
+               adjacency: set[tuple[str, str]] | None = None,
+               delay_fn: Callable[[str, str], float] | None = None,
+               controller_delay: float = 0.0) -> Stg:
+    """The DLAP model of an arbitrary latchified netlist.
+
+    DLAP gives *every* latch bank its own controller, which on a
+    master/slave design is structurally the paper's per-latch
+    overlapping model (Figure 4 patterns composed over the bank
+    adjacency) — the difference the comparison quantifies is cost, not
+    protocol: one controller per latch bank (two per original register)
+    versus one per cluster.  Built by the
+    :class:`repro.desync.pipeline.BaselineModelPass` over the staged
+    artifacts, so the stage delays are the real STA results rather than
+    an abstract per-stage constant.
+    """
+    from repro.stg.desync_model import build_model
+
+    model = build_model(latched, delay_fn=delay_fn,
+                        controller_delay=controller_delay,
+                        banks=banks, adjacency=adjacency)
+    model.name = f"dlap:{latched.name}"
+    return model

@@ -12,9 +12,16 @@ to avoid this penalty.
 
 from __future__ import annotations
 
-from repro.stg.patterns import Parity
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.stg.patterns import Parity, add_latch_cycle
 from repro.stg.stg import Stg, transition_name, RISE, FALL
-from repro.utils.errors import StgError
+from repro.utils.errors import DesyncError, StgError
+
+if TYPE_CHECKING:
+    from repro.netlist.core import Netlist
+    from repro.stg.desync_model import LatchBank
 
 
 def add_nonoverlap_arcs(stg: Stg, pred: str, succ: str,
@@ -65,4 +72,45 @@ def nonoverlap_pipeline(names: list[str],
     stg.connect(transition_name(names[-1], FALL),
                 transition_name(names[0], RISE),
                 tokens=1, place="env:ring")
+    return stg
+
+
+def nonoverlap_model(latched: "Netlist",
+                     banks: dict[str, "LatchBank"] | None = None,
+                     adjacency: set[tuple[str, str]] | None = None,
+                     delay_fn: Callable[[str, str], float] | None = None,
+                     controller_delay: float = 0.0) -> Stg:
+    """The non-overlapping model of an arbitrary latchified netlist.
+
+    Generalizes :func:`nonoverlap_pipeline` from linear chains to the
+    full bank adjacency that :class:`repro.desync.pipeline`'s staged
+    artifacts provide: per bank, the parity-marked alternation
+    self-loop; per adjacency, the strict alternation arcs of
+    :func:`add_nonoverlap_arcs` with the STA-derived stage delay on the
+    opening request.  Every pair cycle
+    ``p- -> s+ -> s- -> p+ -> p-`` carries exactly one token (the
+    predecessor's initial transparency), so each data token traverses
+    open/close of every latch sequentially — the serialization penalty
+    the paper's overlapping patterns exist to avoid, here measurable on
+    real corpus netlists.
+    """
+    from repro.stg.desync_model import extract_banks, latch_adjacency
+
+    if banks is None:
+        banks = extract_banks(latched)
+    if adjacency is None:
+        adjacency = latch_adjacency(latched, banks)
+    stg = Stg(f"nonoverlap:{latched.name}")
+    for bank in sorted(banks.values(), key=lambda b: b.name):
+        stg.add_signal(bank.name, bank.parity.initial_control,
+                       delay=controller_delay)
+        add_latch_cycle(stg, bank.name, bank.parity)
+    for pred, succ in sorted(adjacency):
+        if banks[succ].parity is not banks[pred].parity.opposite:
+            raise DesyncError(
+                f"adjacent banks {pred} -> {succ} share parity "
+                f"{banks[pred].parity.value}; latchify must alternate "
+                "phases along every path")
+        delay = delay_fn(pred, succ) if delay_fn else 0.0
+        add_nonoverlap_arcs(stg, pred, succ, data_delay=delay)
     return stg

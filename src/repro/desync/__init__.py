@@ -1,10 +1,19 @@
-"""The paper's core contribution: automatic de-synchronization."""
+"""The paper's core contribution: automatic de-synchronization.
+
+``desynchronize()`` runs the default staged pass pipeline
+(:mod:`repro.desync.pipeline`); the pipeline API itself — pass objects,
+pluggable clustering strategies, partial (hybrid sync/async)
+conversion, baseline pass sequences and the sweep driver — is exported
+here too.
+"""
 
 from repro.desync.clustering import (
+    CLUSTERING_STRATEGIES,
     Cluster,
     Clustering,
     cluster_registers,
     cluster_stage_delays,
+    clustering_from_partition,
     register_level_edges,
 )
 from repro.desync.flow import DesyncOptions, DesyncResult, HoldCheck, desynchronize
@@ -17,12 +26,34 @@ from repro.desync.network import (
     build_network,
     clock_net_name,
 )
+from repro.desync.pipeline import (
+    AUTO_SYNC_BANKS,
+    BaselineModelPass,
+    ClusterPass,
+    ControllerNetworkPass,
+    FlowContext,
+    FlowPipeline,
+    LatchifyPass,
+    MatchedDelayPass,
+    PIPELINES,
+    PartialDesyncPass,
+    Pass,
+    PassRecord,
+    PipelineVariant,
+    build_pipeline,
+    default_variants,
+    make_result,
+    run_pipeline,
+    sweep_pipelines,
+)
 
 __all__ = [
+    "CLUSTERING_STRATEGIES",
     "Cluster",
     "Clustering",
     "cluster_registers",
     "cluster_stage_delays",
+    "clustering_from_partition",
     "register_level_edges",
     "DesyncOptions",
     "HoldCheck",
@@ -37,4 +68,22 @@ __all__ = [
     "DesyncNetwork",
     "build_network",
     "clock_net_name",
+    "AUTO_SYNC_BANKS",
+    "BaselineModelPass",
+    "ClusterPass",
+    "ControllerNetworkPass",
+    "FlowContext",
+    "FlowPipeline",
+    "LatchifyPass",
+    "MatchedDelayPass",
+    "PIPELINES",
+    "PartialDesyncPass",
+    "Pass",
+    "PassRecord",
+    "PipelineVariant",
+    "build_pipeline",
+    "default_variants",
+    "make_result",
+    "run_pipeline",
+    "sweep_pipelines",
 ]

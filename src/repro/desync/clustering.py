@@ -24,6 +24,8 @@ outcome of de-synchronizing such netlists without timing signoff.
 
 from __future__ import annotations
 
+import inspect
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -124,15 +126,28 @@ def _sequential_fanin(netlist: Netlist, ff: Instance) -> list[Instance]:
     return sources
 
 
-def cluster_registers(netlist: Netlist) -> Clustering:
-    """Compute the SCC clustering of a synchronous flip-flop netlist."""
-    banks, reg_edges = register_level_edges(netlist)
-    graph = nx.DiGraph()
-    graph.add_nodes_from(banks)
-    graph.add_edges_from(reg_edges)
+def clustering_from_partition(banks: dict[str, list[Instance]],
+                              reg_edges: set[tuple[str, str]],
+                              components: list[list[str]],
+                              require_acyclic: bool = True) -> Clustering:
+    """Build a :class:`Clustering` from a partition of the register banks.
+
+    ``components`` is a list of register-bank groups covering every bank
+    exactly once; each group becomes one controller domain named after
+    its lexicographically first member (the naming convention every
+    strategy shares, so fabric net names are stable across strategies).
+    With ``require_acyclic`` (the safety invariant of the handshake
+    protocol — see the module docstring) a cyclic inter-cluster graph
+    raises :class:`DesyncError` naming one offending cycle.
+    """
+    covered = [reg for component in components for reg in component]
+    if sorted(covered) != sorted(banks):
+        raise DesyncError(
+            "clustering partition does not cover the register banks "
+            f"exactly once ({len(covered)} members for {len(banks)} banks)")
     clusters: dict[str, Cluster] = {}
     cluster_of: dict[str, str] = {}
-    for component in nx.strongly_connected_components(graph):
+    for component in components:
         members = sorted(component)
         name = members[0]
         instances = [ff for reg in members for ff in banks[reg]]
@@ -147,8 +162,146 @@ def cluster_registers(netlist: Netlist) -> Clustering:
             clusters[cp].has_self_edge = True
         else:
             edges.add((cp, cs))
+    if require_acyclic:
+        graph = nx.DiGraph(sorted(edges))
+        try:
+            cycle = nx.find_cycle(graph)
+        except nx.NetworkXNoCycle:
+            cycle = None
+        if cycle:
+            path = " -> ".join([edge[0] for edge in cycle]
+                               + [cycle[0][0]])
+            raise DesyncError(
+                "clustering produces a cyclic controller graph "
+                f"({path}); mutually-reachable registers must share a "
+                "controller (use the 'scc' strategy or merge the banks)")
     return Clustering(clusters=clusters, edges=edges,
                       register_edges=reg_edges, cluster_of=cluster_of)
+
+
+def _scc_components(banks: dict[str, list[Instance]],
+                    reg_edges: set[tuple[str, str]]) -> list[list[str]]:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(banks)
+    graph.add_edges_from(reg_edges)
+    return [sorted(component)
+            for component in nx.strongly_connected_components(graph)]
+
+
+def cluster_scc(netlist: Netlist) -> Clustering:
+    """The default strategy: strongly-connected components of the
+    register dataflow graph — the finest clustering the handshake
+    protocol's safety invariant permits on arbitrary designs."""
+    banks, reg_edges = register_level_edges(netlist)
+    return clustering_from_partition(banks, reg_edges,
+                                     _scc_components(banks, reg_edges),
+                                     require_acyclic=False)
+
+
+def cluster_per_register(netlist: Netlist) -> Clustering:
+    """The finest strategy: one controller domain per register bank.
+
+    Valid only on feed-forward register graphs (register self-loops are
+    fine — they become matched self-requests); a cycle through two or
+    more banks violates the acyclicity invariant and raises
+    :class:`DesyncError` naming the cycle.  On such designs ``scc`` *is*
+    the per-register clustering wherever safety allows.
+    """
+    banks, reg_edges = register_level_edges(netlist)
+    return clustering_from_partition(banks, reg_edges,
+                                     [[bank] for bank in sorted(banks)])
+
+
+def cluster_single(netlist: Netlist) -> Clustering:
+    """The coarsest strategy: every register under one local clock.
+
+    The whole design becomes a single self-timed domain — a local ring
+    oscillator matched to the worst internal stage.  No inter-domain
+    handshakes exist, so there is nothing to race: this is the
+    degenerate-but-always-safe endpoint of the granularity spectrum.
+    """
+    banks, reg_edges = register_level_edges(netlist)
+    return clustering_from_partition(banks, reg_edges,
+                                     [sorted(banks)])
+
+
+def cluster_greedy_cap(netlist: Netlist, cap: int = 4) -> Clustering:
+    """Size-capped greedy merging of the SCC condensation.
+
+    Starts from the ``scc`` components and repeatedly merges an adjacent
+    cluster pair when the merged domain stays within ``cap`` registers
+    and the inter-cluster graph stays acyclic (merging ``{A, B}`` with a
+    bypass path ``A -> C -> B`` would trap ``C`` in a cycle, so such
+    pairs are skipped).  Candidates are scanned in sorted edge order, so
+    the result is deterministic.  Coarser domains trade concurrency for
+    fewer controllers and fewer matched delay lines — the knob the paper
+    leaves to the implementer.
+    """
+    if cap < 1:
+        raise DesyncError(f"greedy-cap needs a positive cap, got {cap}")
+    banks, reg_edges = register_level_edges(netlist)
+    components = {min(c): set(c) for c in _scc_components(banks, reg_edges)}
+    owner = {reg: name for name, regs in components.items() for reg in regs}
+
+    def condensed() -> nx.DiGraph:
+        graph = nx.DiGraph()
+        graph.add_nodes_from(components)
+        graph.add_edges_from((owner[p], owner[s]) for p, s in reg_edges
+                             if owner[p] != owner[s])
+        return graph
+
+    merged = True
+    while merged:
+        merged = False
+        graph = condensed()
+        for pred, succ in sorted(graph.edges):
+            if len(components[pred]) + len(components[succ]) > cap:
+                continue
+            trial = nx.contracted_nodes(graph, pred, succ, self_loops=False)
+            if not nx.is_directed_acyclic_graph(trial):
+                continue
+            union = components.pop(pred) | components.pop(succ)
+            name = min(union)
+            components[name] = union
+            for reg in union:
+                owner[reg] = name
+            merged = True
+            break
+    return clustering_from_partition(
+        banks, reg_edges, [sorted(regs) for regs in components.values()])
+
+
+#: Pluggable clustering strategies, selectable via
+#: :attr:`repro.desync.flow.DesyncOptions.strategy` (the ``greedy-cap``
+#: entry also reads :attr:`~repro.desync.flow.DesyncOptions.cluster_cap`).
+CLUSTERING_STRATEGIES: dict[str, Callable[..., Clustering]] = {
+    "scc": cluster_scc,
+    "per-register": cluster_per_register,
+    "single": cluster_single,
+    "greedy-cap": cluster_greedy_cap,
+}
+
+
+def cluster_registers(netlist: Netlist, strategy: str = "scc",
+                      cap: int | None = None) -> Clustering:
+    """Cluster the registers of a synchronous flip-flop netlist.
+
+    ``strategy`` selects an entry of :data:`CLUSTERING_STRATEGIES`;
+    ``cap`` is forwarded to the size-capped strategies.  The default is
+    the SCC clustering (the historical behaviour of this function).
+    """
+    try:
+        builder = CLUSTERING_STRATEGIES[strategy]
+    except KeyError:
+        raise DesyncError(
+            f"unknown clustering strategy {strategy!r} "
+            f"(have: {', '.join(sorted(CLUSTERING_STRATEGIES))})") from None
+    if cap is not None:
+        if "cap" not in inspect.signature(builder).parameters:
+            raise DesyncError(
+                f"clustering strategy {strategy!r} does not take a size cap")
+        return builder(netlist, cap=cap)
+    return builder(netlist)
 
 
 def cluster_stage_delays(timing_max: dict[tuple[str, str], float],

@@ -48,20 +48,11 @@ from dataclasses import dataclass, field
 from repro.netlist.cells import Library
 from repro.netlist.core import Net, Netlist
 from repro.utils.errors import DesyncError
+from repro.utils.naming import ack_net_name, inverted_clock_name
 
 # Number of buffers in a source bank's self-request loop: sets the
 # environment handshake latency for banks fed only by primary inputs.
 SELF_REQUEST_BUFFERS = 2
-
-
-def inverted_clock_name(bank: str) -> str:
-    """Net carrying the complement of ``lt:<bank>`` (shared per bank)."""
-    return f"ltn:{bank}"
-
-
-def ack_net_name(pred: str, succ: str) -> str:
-    """Net carrying the acknowledge token state of one adjacency."""
-    return f"ack:{pred}>{succ}"
 
 
 @dataclass

@@ -11,6 +11,14 @@ synchronous flip-flop netlist:
    that a software-verified flow can guarantee
    (:mod:`repro.desync.clustering`).
 
+Since the pass-pipeline refactor the heavy lifting lives in
+:mod:`repro.desync.pipeline`: ``desynchronize()`` is the stable
+convenience wrapper that runs the default pass sequence and packages
+the :class:`~repro.desync.pipeline.FlowContext` as a
+:class:`DesyncResult`.  Use the pipeline API directly for alternative
+clustering strategies, partial (hybrid sync/async) conversion, baseline
+pass sequences, or per-pass provenance.
+
 The returned :class:`DesyncResult` bundles every intermediate artifact —
 the latch-based netlist, the timed marked-graph model of the fabric, the
 final self-timed netlist — plus the analyses the evaluation needs: the
@@ -24,27 +32,25 @@ figure reproductions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.desync.clustering import (
-    Clustering,
-    cluster_registers,
-    cluster_stage_delays,
-)
-from repro.desync.latchify import latchify
+from repro.desync.clustering import CLUSTERING_STRATEGIES, Clustering
 from repro.desync.network import (
     DEFAULT_HOLD_SLACK,
     DesyncNetwork,
     HandshakeMode,
-    build_network,
 )
-from repro.netlist.core import Netlist, iter_register_banks
+from repro.netlist.core import Netlist
 from repro.petri.analysis import CycleTimeResult, cycle_time
 from repro.petri.simulate import simulate
-from repro.stg.cluster_model import build_cluster_model
 from repro.stg.desync_model import build_model, extract_banks, latch_adjacency
 from repro.stg.stg import Stg
 from repro.timing.delays import DEFAULT_MARGIN
 from repro.timing.sta import DEFAULT_SETUP, DEFAULT_SKEW, TimingResult, analyze
+from repro.utils.errors import OptionsError
+
+if TYPE_CHECKING:
+    from repro.desync.pipeline import PassRecord
 
 
 @dataclass
@@ -58,12 +64,26 @@ class DesyncOptions:
             replaces the skew margin by the matched-delay margin).
         mode: acknowledge discipline — the paper's concurrent OVERLAP
             protocol (default) or the statically race-free SERIAL one
-            (see :class:`repro.desync.network.HandshakeMode`).
+            (see :class:`repro.desync.network.HandshakeMode`); the
+            protocol name string is accepted too.
         hold_slack: overlap-mode self-pacing stretch in ps.
         validate_model: run liveness / consistency / boundedness checks
             on the composed fabric model; disable for very large bank
             graphs (the checks walk the reachability graph).
         model_check_states: state cap for those checks.
+        strategy: clustering strategy name (an entry of
+            :data:`repro.desync.clustering.CLUSTERING_STRATEGIES`).
+        cluster_cap: register cap forwarded to size-capped strategies
+            (only meaningful for ``greedy-cap``).
+        sync_banks: registers or controller domains to *keep
+            synchronous* — they are merged into one sync island whose
+            locally-generated clock is matched to the synchronous
+            period, with handshake bridges at the boundary (partial
+            de-synchronization; see
+            :class:`repro.desync.pipeline.PartialDesyncPass`).
+
+    Invalid values raise :class:`repro.utils.errors.OptionsError`
+    located at the offending field.
     """
 
     margin: float = DEFAULT_MARGIN
@@ -73,6 +93,53 @@ class DesyncOptions:
     hold_slack: float = DEFAULT_HOLD_SLACK
     validate_model: bool = True
     model_check_states: int = 200_000
+    strategy: str = "scc"
+    cluster_cap: int | None = None
+    sync_banks: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.mode, str):
+            try:
+                self.mode = HandshakeMode(self.mode)
+            except ValueError:
+                raise OptionsError(
+                    "mode",
+                    f"unknown handshake mode {self.mode!r} (have: "
+                    f"{', '.join(m.value for m in HandshakeMode)})"
+                ) from None
+        elif not isinstance(self.mode, HandshakeMode):
+            raise OptionsError(
+                "mode", f"expected a HandshakeMode, got {self.mode!r}")
+        for name in ("margin", "setup", "skew", "hold_slack"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                raise OptionsError(
+                    name, f"must be a non-negative number, got {value!r}")
+        if not isinstance(self.model_check_states, int) \
+                or self.model_check_states < 1:
+            raise OptionsError(
+                "model_check_states",
+                f"must be a positive state cap, got "
+                f"{self.model_check_states!r}")
+        if self.strategy not in CLUSTERING_STRATEGIES:
+            raise OptionsError(
+                "strategy",
+                f"unknown clustering strategy {self.strategy!r} (have: "
+                f"{', '.join(sorted(CLUSTERING_STRATEGIES))})")
+        if self.cluster_cap is not None:
+            if not isinstance(self.cluster_cap, int) or self.cluster_cap < 1:
+                raise OptionsError(
+                    "cluster_cap",
+                    f"must be a positive register count, got "
+                    f"{self.cluster_cap!r}")
+        if isinstance(self.sync_banks, str) or \
+                not all(isinstance(entry, str) for entry in self.sync_banks):
+            raise OptionsError(
+                "sync_banks",
+                f"must be a sequence of register or controller-domain "
+                f"names, got {self.sync_banks!r}")
+        self.sync_banks = tuple(self.sync_banks)
 
 
 @dataclass
@@ -107,6 +174,12 @@ class DesyncResult:
     stage_min: dict[tuple[str, str], float]
     model: Stg
     options: DesyncOptions
+    #: Controller domain kept on the synchronous clock by partial
+    #: de-synchronization, or None for a full conversion.
+    sync_island: str | None = None
+    #: Per-pass provenance recorded by the pipeline that produced this
+    #: result (empty when constructed by hand).
+    provenance: list["PassRecord"] = field(default_factory=list)
     _cycle_time: CycleTimeResult | None = field(default=None, repr=False)
 
     @property
@@ -222,6 +295,11 @@ class DesyncResult:
             f"  controller area    {self.network.controller_area:,.0f} um^2",
             f"  delay-line area    {self.network.delay_line_area:,.0f} um^2",
         ]
+        if self.sync_island is not None:
+            island = self.clustering.clusters[self.sync_island]
+            lines.insert(4, f"  sync island        {self.sync_island} "
+                            f"({len(island.registers)} registers kept "
+                            "synchronous)")
         return "\n".join(lines)
 
 
@@ -233,57 +311,12 @@ def desynchronize(netlist: Netlist,
     declared clock port.  Returns a :class:`DesyncResult`; raises
     :class:`DesyncError` on structural problems (no flip-flops, clock
     used as data...).
+
+    This is a thin wrapper over the default pass pipeline of
+    :mod:`repro.desync.pipeline` — ``options`` selects every variation
+    (clustering strategy, handshake mode, partial conversion); use
+    :func:`repro.desync.pipeline.run_pipeline` directly for baseline
+    pass sequences or custom pass lists.
     """
-    opts = options if options is not None else DesyncOptions()
-    netlist.validate()
-    clustering = cluster_registers(netlist)
-    register_banks = {name: instances
-                      for name, instances in iter_register_banks(netlist)}
-    timing = analyze(netlist, banks=register_banks, setup=opts.setup,
-                     skew=opts.skew)
-    stage_max, stage_min = cluster_stage_delays(timing.max_delay,
-                                                timing.min_delay, clustering)
-    latched = latchify(netlist)
-    network = build_network(latched, clustering, stage_max,
-                            margin=opts.margin, mode=opts.mode,
-                            hold_slack=opts.hold_slack)
-
-    all_edges = set(clustering.edges)
-    for cluster in clustering.clusters.values():
-        if cluster.has_self_edge:
-            all_edges.add((cluster.name, cluster.name))
-
-    def request_delay(pred: str, succ: str) -> float:
-        return network.request_delay(pred, succ)
-
-    def pacing_delay(pred: str, succ: str) -> float:
-        return network.pacing_delay(pred, succ)
-
-    def controller_delay(bank: str) -> float:
-        return network.controllers[bank].latency
-
-    library = netlist.library
-    model = build_cluster_model(
-        banks=list(clustering.clusters),
-        edges=all_edges,
-        request_delay=request_delay,
-        ack_delay=network.ack_delay(),
-        controller_delay=controller_delay,
-        pulse_width=2 * library["C3"].delay,
-        overlap=(opts.mode is HandshakeMode.OVERLAP),
-        pacing_delay=pacing_delay,
-        name=f"desync:{netlist.name}",
-    )
-    if opts.validate_model:
-        model.check_model(max_states=opts.model_check_states)
-    return DesyncResult(
-        sync_netlist=netlist,
-        latched=latched,
-        network=network,
-        clustering=clustering,
-        timing=timing,
-        stage_max=stage_max,
-        stage_min=stage_min,
-        model=model,
-        options=opts,
-    )
+    from repro.desync.pipeline import make_result, run_pipeline
+    return make_result(run_pipeline(netlist, options))

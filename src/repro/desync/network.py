@@ -48,6 +48,13 @@ from repro.timing.delays import (
     plan_delay_line,
 )
 from repro.utils.errors import DesyncError
+from repro.utils.naming import (
+    ack_net_name,
+    clock_net_name,
+    inverted_clock_name,
+    request_net_name,
+    token_net_name,
+)
 
 # Buffers in a source cluster's free-running self-loop.
 SELF_LOOP_BUFFERS = 2
@@ -80,27 +87,6 @@ class HandshakeMode(enum.Enum):
 
     SERIAL = "serial"
     OVERLAP = "overlap"
-
-
-def clock_net_name(bank: str) -> str:
-    """Net carrying the local clock of cluster ``bank``."""
-    return f"lt:{bank}"
-
-
-def inverted_clock_name(bank: str) -> str:
-    return f"ltn:{bank}"
-
-
-def request_net_name(pred: str, succ: str) -> str:
-    return f"req:{pred}>{succ}"
-
-
-def token_net_name(pred: str, succ: str) -> str:
-    return f"tok:{pred}>{succ}"
-
-
-def ack_net_name(pred: str, succ: str) -> str:
-    return f"ack:{pred}>{succ}"
 
 
 @dataclass

@@ -1,0 +1,651 @@
+"""Staged de-synchronization: the composable transform-pass pipeline.
+
+The paper's flow is inherently staged — latch conversion, matched-delay
+sizing, controller-network substitution — and this module makes the
+stages first-class.  A :class:`FlowContext` (netlist + timing +
+clustering + per-stage artifacts + provenance) is threaded through a
+sequence of :class:`Pass` objects:
+
+``ClusterPass``
+    picks the controller granularity via a pluggable strategy
+    (:data:`repro.desync.clustering.CLUSTERING_STRATEGIES`);
+``PartialDesyncPass``
+    optionally keeps a subset of domains on the synchronous clock — it
+    merges them into one *sync island* whose locally-generated clock is
+    matched to the synchronous period, leaving handshake bridges at the
+    island boundary (the hybrid sync/async design point);
+``MatchedDelayPass``
+    runs static timing analysis and aggregates stage delays to the
+    clustering granularity;
+``LatchifyPass``
+    converts flip-flops to master/slave latch pairs;
+``ControllerNetworkPass``
+    materializes the handshake fabric and its timed marked-graph model;
+``BaselineModelPass``
+    instead builds a related-work baseline model (DLAP or non-overlapping
+    clocking) over the same staged artifacts, so the baselines come from
+    the same engine as the main flow.
+
+:data:`PIPELINES` registers the stock pass sequences (``desync``,
+``doubly_latched``, ``nonoverlap``); :func:`run_pipeline` runs one;
+:func:`make_result` packages a completed context as the classic
+:class:`~repro.desync.flow.DesyncResult`;
+:func:`sweep_pipelines` drives (corpus config x pipeline variant) grids
+through the batched flow-equivalence checker for the
+``BENCH_pipeline`` series.
+
+``repro.desync.flow.desynchronize()`` is a thin wrapper over the
+``desync`` pipeline and remains the stable entry point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+
+import networkx as nx
+
+from repro.desync.clustering import (
+    Clustering,
+    cluster_registers,
+    cluster_stage_delays,
+    clustering_from_partition,
+    register_level_edges,
+)
+from repro.desync.flow import DesyncOptions, DesyncResult
+from repro.desync.latchify import latchify
+from repro.desync.network import DesyncNetwork, HandshakeMode, build_network
+from repro.netlist.core import Netlist, iter_register_banks
+from repro.petri.analysis import CycleTimeResult, cycle_time
+from repro.stg.cluster_model import fabric_model
+from repro.stg.desync_model import extract_banks, latch_adjacency
+from repro.stg.stg import Stg
+from repro.timing.sta import TimingResult, analyze
+from repro.utils.errors import DesyncError, OptionsError, ReproError
+
+
+@dataclass
+class PassRecord:
+    """Provenance of one executed pass: its name plus summary facts."""
+
+    name: str
+    info: dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        facts = ", ".join(f"{key}={value}" for key, value in
+                          sorted(self.info.items()))
+        return f"{self.name}: {facts}" if facts else self.name
+
+
+@dataclass
+class FlowContext:
+    """Everything a pass sequence reads and produces.
+
+    Passes fill the artifact fields in order; consumers that only need
+    the classic bundle call :func:`make_result`.  The context mirrors
+    the :class:`~repro.desync.flow.DesyncResult` surface that the
+    equivalence checker uses (``sync_netlist``, ``desync_netlist``,
+    ``desync_cycle_time``), so a completed context can be handed to
+    :func:`repro.equiv.check_flow_equivalence` directly.
+    """
+
+    sync_netlist: Netlist
+    options: DesyncOptions
+    pipeline: str = "desync"
+    latched: Netlist | None = None
+    clustering: Clustering | None = None
+    timing: TimingResult | None = None
+    stage_max: dict[tuple[str, str], float] | None = None
+    stage_min: dict[tuple[str, str], float] | None = None
+    network: DesyncNetwork | None = None
+    model: Stg | None = None
+    sync_island: str | None = None
+    records: list[PassRecord] = field(default_factory=list)
+    _cycle_time: CycleTimeResult | None = field(default=None, repr=False)
+
+    @property
+    def desync_netlist(self) -> Netlist:
+        if self.network is None:
+            raise DesyncError(
+                f"pipeline {self.pipeline!r} produced no controller "
+                "network (model-level pass sequences have no gate-level "
+                "de-synchronized netlist)")
+        return self.network.netlist
+
+    def require(self, **artifacts: object) -> None:
+        """Raise a located error when a required artifact is missing."""
+        for name, value in artifacts.items():
+            if value is None:
+                raise DesyncError(
+                    f"pipeline {self.pipeline!r}: artifact {name!r} is "
+                    "missing — add the pass that produces it before this "
+                    "one")
+
+    def sync_period(self) -> float:
+        """Clock period of the synchronous reference, ps."""
+        self.require(timing=self.timing)
+        return self.timing.sync_period()
+
+    def desync_cycle_time(self) -> CycleTimeResult:
+        """Steady-state cycle time of the produced model, ps."""
+        if self._cycle_time is None:
+            self.require(model=self.model)
+            self._cycle_time = cycle_time(self.model)
+        return self._cycle_time
+
+    def provenance(self) -> str:
+        """Human-readable pass-by-pass account of this run."""
+        lines = [f"pipeline {self.pipeline!r} on {self.sync_netlist.name}:"]
+        lines.extend(f"  {record.describe()}" for record in self.records)
+        return "\n".join(lines)
+
+
+class Pass:
+    """One composable transform stage.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, returning a
+    dict of summary facts for the provenance record (or None).
+    """
+
+    name = "pass"
+
+    def run(self, ctx: FlowContext) -> dict[str, object] | None:
+        raise NotImplementedError
+
+
+class ClusterPass(Pass):
+    """Compute the controller granularity via a pluggable strategy."""
+
+    name = "cluster"
+
+    def __init__(self, strategy: str | None = None, cap: int | None = None):
+        self.strategy = strategy
+        self.cap = cap
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        strategy = self.strategy if self.strategy is not None \
+            else ctx.options.strategy
+        cap = self.cap if self.cap is not None else ctx.options.cluster_cap
+        ctx.clustering = cluster_registers(ctx.sync_netlist,
+                                           strategy=strategy, cap=cap)
+        return {
+            "strategy": strategy,
+            "domains": len(ctx.clustering.clusters),
+            "edges": len(ctx.clustering.edges),
+        }
+
+
+class PartialDesyncPass(Pass):
+    """Partial (hybrid sync/async) conversion: the sync island.
+
+    Merges the selected controller domains into one island that stays
+    in lockstep on a single shared clock.  The island's clock is still
+    generated locally (the whole point of de-synchronization is that
+    the global tree goes away) but :class:`MatchedDelayPass` sizes its
+    self-request to the design's worst stage, so the island ticks at
+    the synchronous rate whenever its boundary handshakes are not
+    back-pressuring it.  Every island-boundary adjacency keeps the
+    standard bridge fabric — matched request line, request-token latch,
+    acknowledge cell — which is what makes the hybrid verifiable by
+    :func:`repro.equiv.check_flow_equivalence` like any full conversion.
+
+    Selection entries may name registers or controller domains.  The
+    island is closed under *convexity*: any domain lying on a directed
+    path island -> x -> island is absorbed too, because leaving it out
+    would put a handshake cycle around the island (the acyclicity
+    invariant of :mod:`repro.desync.clustering`).
+    """
+
+    name = "partial"
+
+    def __init__(self, sync_banks: tuple[str, ...] | None = None):
+        self.sync_banks = sync_banks
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        selected = self.sync_banks if self.sync_banks is not None \
+            else ctx.options.sync_banks
+        if not selected:
+            return {"skipped": "no sync_banks selected"}
+        ctx.require(clustering=ctx.clustering)
+        clustering = ctx.clustering
+        island: set[str] = set()
+        for entry in selected:
+            if entry in clustering.clusters:
+                island.add(entry)
+            elif entry in clustering.cluster_of:
+                island.add(clustering.cluster_of[entry])
+            else:
+                raise OptionsError(
+                    "sync_banks",
+                    f"{entry!r} names neither a register nor a controller "
+                    f"domain of {ctx.sync_netlist.name}")
+        graph = nx.DiGraph()
+        graph.add_nodes_from(clustering.clusters)
+        graph.add_edges_from(clustering.edges)
+        reachable_from = set().union(
+            *(nx.descendants(graph, node) for node in island))
+        reaching = set().union(
+            *(nx.ancestors(graph, node) for node in island))
+        absorbed = (reachable_from & reaching) - island
+        island |= absorbed
+        banks, reg_edges = register_level_edges(ctx.sync_netlist)
+        components = [sorted(reg for name in sorted(island)
+                             for reg in clustering.clusters[name].registers)]
+        components.extend(
+            sorted(cluster.registers)
+            for name, cluster in sorted(clustering.clusters.items())
+            if name not in island)
+        ctx.clustering = clustering_from_partition(banks, reg_edges,
+                                                   components)
+        island_name = min(components[0])
+        island_cluster = ctx.clustering.clusters[island_name]
+        # The island must tick even without internal register feedback:
+        # its matched self-request is its clock generator.
+        island_cluster.has_self_edge = True
+        ctx.sync_island = island_name
+        return {
+            "island": island_name,
+            "island_registers": len(island_cluster.registers),
+            "absorbed_domains": len(absorbed),
+            "async_domains": len(ctx.clustering.clusters) - 1,
+            "boundary_edges": len(ctx.clustering.edges),
+        }
+
+
+class MatchedDelayPass(Pass):
+    """Static timing analysis + stage aggregation at cluster granularity."""
+
+    name = "matched-delay"
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        ctx.require(clustering=ctx.clustering)
+        opts = ctx.options
+        register_banks = {
+            name: instances
+            for name, instances in iter_register_banks(ctx.sync_netlist)}
+        ctx.timing = analyze(ctx.sync_netlist, banks=register_banks,
+                             setup=opts.setup, skew=opts.skew)
+        ctx.stage_max, ctx.stage_min = cluster_stage_delays(
+            ctx.timing.max_delay, ctx.timing.min_delay, ctx.clustering)
+        info: dict[str, object] = {
+            "stages": len(ctx.stage_max),
+            "worst_stage_ps": round(max(ctx.stage_max.values(), default=0.0),
+                                    1),
+        }
+        if ctx.sync_island is not None:
+            # The island's self-request is its clock generator: match it
+            # to the design's critical path so the island runs at the
+            # synchronous rate, not just at its own internal worst stage.
+            key = (ctx.sync_island, ctx.sync_island)
+            worst = max(ctx.timing.max_delay.values(), default=0.0)
+            ctx.stage_max[key] = max(ctx.stage_max.get(key, 0.0), worst)
+            ctx.stage_min.setdefault(key, worst)
+            info["island_period_stage_ps"] = round(ctx.stage_max[key], 1)
+        return info
+
+
+class LatchifyPass(Pass):
+    """Flip-flop to master/slave latch conversion (paper step 1)."""
+
+    name = "latchify"
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        ctx.latched = latchify(ctx.sync_netlist)
+        return {"latches": len(ctx.latched.latch_instances())}
+
+
+class ControllerNetworkPass(Pass):
+    """Materialize the handshake fabric and its timed model (step 3)."""
+
+    name = "controller-network"
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        ctx.require(latched=ctx.latched, clustering=ctx.clustering,
+                    stage_max=ctx.stage_max)
+        opts = ctx.options
+        ctx.network = build_network(ctx.latched, ctx.clustering,
+                                    ctx.stage_max, margin=opts.margin,
+                                    mode=opts.mode,
+                                    hold_slack=opts.hold_slack)
+        ctx.model = fabric_model(ctx.clustering, ctx.network,
+                                 ctx.sync_netlist.library,
+                                 name=f"desync:{ctx.sync_netlist.name}")
+        if opts.validate_model:
+            ctx.model.check_model(max_states=opts.model_check_states)
+        return {
+            "controllers": len(ctx.network.controllers),
+            "delay_lines": len(ctx.network.delay_plans),
+            "controller_area_um2": round(ctx.network.controller_area, 1),
+            "delay_line_area_um2": round(ctx.network.delay_line_area, 1),
+            "model_validated": opts.validate_model,
+        }
+
+
+class BaselineModelPass(Pass):
+    """Build a related-work baseline model from the staged artifacts.
+
+    ``kind`` selects the scheme: ``dlap`` (Kol & Ginosar's doubly-latched
+    asynchronous pipeline — one controller per latch bank, the paper's
+    per-latch overlap model) or ``nonoverlap`` (strictly alternating
+    latch clocking).  Both are built over the *actual* latchified design
+    with STA-derived stage delays, so the baselines compare against the
+    main flow on real netlists rather than on abstract stage counts.
+    """
+
+    name = "baseline-model"
+
+    def __init__(self, kind: str):
+        if kind not in ("dlap", "nonoverlap"):
+            raise DesyncError(f"unknown baseline model kind {kind!r}")
+        self.kind = kind
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        from repro.baselines.doubly_latched import dlap_model
+        from repro.baselines.nonoverlap import nonoverlap_model
+        from repro.desync.controllers import controller_latency
+
+        ctx.require(latched=ctx.latched)
+        opts = ctx.options
+        banks = extract_banks(ctx.latched)
+        adjacency = latch_adjacency(ctx.latched, banks)
+        latch_timing = analyze(ctx.latched,
+                               banks={name: bank.instances
+                                      for name, bank in banks.items()},
+                               setup=opts.setup, skew=opts.skew)
+
+        def delay_fn(pred: str, succ: str) -> float:
+            return latch_timing.max_delay.get((pred, succ), 0.0)
+
+        controller_delay = controller_latency(3, ctx.latched.library)
+        builder = dlap_model if self.kind == "dlap" else nonoverlap_model
+        ctx.model = builder(ctx.latched, banks=banks, adjacency=adjacency,
+                            delay_fn=delay_fn,
+                            controller_delay=controller_delay)
+        if opts.validate_model:
+            ctx.model.check_model(max_states=opts.model_check_states)
+        return {
+            "kind": self.kind,
+            "controllers": len(banks),
+            "controller_delay_ps": round(controller_delay, 1),
+        }
+
+
+@dataclass
+class FlowPipeline:
+    """A named, ordered pass sequence."""
+
+    name: str
+    passes: list[Pass]
+
+    def run(self, netlist: Netlist,
+            options: DesyncOptions | None = None) -> FlowContext:
+        opts = options if options is not None else DesyncOptions()
+        netlist.validate()
+        ctx = FlowContext(sync_netlist=netlist, options=opts,
+                          pipeline=self.name)
+        for stage in self.passes:
+            info = stage.run(ctx)
+            ctx.records.append(PassRecord(stage.name, dict(info or {})))
+        return ctx
+
+
+def _desync_pipeline() -> FlowPipeline:
+    return FlowPipeline("desync", [
+        ClusterPass(),
+        PartialDesyncPass(),
+        MatchedDelayPass(),
+        LatchifyPass(),
+        ControllerNetworkPass(),
+    ])
+
+
+def _doubly_latched_pipeline() -> FlowPipeline:
+    return FlowPipeline("doubly_latched", [
+        ClusterPass(),
+        MatchedDelayPass(),
+        LatchifyPass(),
+        BaselineModelPass("dlap"),
+    ])
+
+
+def _nonoverlap_pipeline() -> FlowPipeline:
+    return FlowPipeline("nonoverlap", [
+        ClusterPass(),
+        MatchedDelayPass(),
+        LatchifyPass(),
+        BaselineModelPass("nonoverlap"),
+    ])
+
+
+#: Stock pass sequences.  ``desync`` is the paper's flow (what
+#: ``desynchronize()`` runs); the baselines produce model-level
+#: :class:`FlowContext` outputs from the same staged artifacts.
+PIPELINES: dict[str, Callable[[], FlowPipeline]] = {
+    "desync": _desync_pipeline,
+    "doubly_latched": _doubly_latched_pipeline,
+    "nonoverlap": _nonoverlap_pipeline,
+}
+
+
+def build_pipeline(name: str = "desync") -> FlowPipeline:
+    """Instantiate a registered pass sequence by name."""
+    try:
+        factory = PIPELINES[name]
+    except KeyError:
+        raise DesyncError(
+            f"unknown pipeline {name!r} "
+            f"(have: {', '.join(sorted(PIPELINES))})") from None
+    return factory()
+
+
+def run_pipeline(netlist: Netlist, options: DesyncOptions | None = None,
+                 pipeline: str | FlowPipeline = "desync") -> FlowContext:
+    """Run a registered (or explicit) pass sequence on ``netlist``."""
+    if isinstance(pipeline, FlowPipeline):
+        return pipeline.run(netlist, options)
+    return build_pipeline(pipeline).run(netlist, options)
+
+
+def make_result(ctx: FlowContext) -> DesyncResult:
+    """Package a completed full-flow context as a :class:`DesyncResult`."""
+    ctx.require(latched=ctx.latched, clustering=ctx.clustering,
+                timing=ctx.timing, stage_max=ctx.stage_max,
+                stage_min=ctx.stage_min, network=ctx.network,
+                model=ctx.model)
+    return DesyncResult(
+        sync_netlist=ctx.sync_netlist,
+        latched=ctx.latched,
+        network=ctx.network,
+        clustering=ctx.clustering,
+        timing=ctx.timing,
+        stage_max=ctx.stage_max,
+        stage_min=ctx.stage_min,
+        model=ctx.model,
+        options=ctx.options,
+        sync_island=ctx.sync_island,
+        provenance=list(ctx.records),
+        _cycle_time=ctx._cycle_time,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario sweeps: (corpus config x pipeline variant) grids.
+# ----------------------------------------------------------------------
+
+#: Sentinel for :attr:`PipelineVariant.sync_banks`: pick roughly half of
+#: the base SCC domains (sorted-name order) as the sync island.
+AUTO_SYNC_BANKS = "auto"
+
+
+@dataclass
+class PipelineVariant:
+    """One column of the sweep grid.
+
+    ``options`` carries the full flow configuration; ``sync_banks`` may
+    be :data:`AUTO_SYNC_BANKS` to derive a per-config island.  With
+    ``check_equivalence`` the variant is verified by
+    :func:`repro.equiv.check_flow_equivalence_batch` (reference side on
+    the vector backend) and hold-screened via
+    :meth:`~repro.desync.flow.DesyncResult.verify_hold`.
+    """
+
+    name: str
+    pipeline: str = "desync"
+    options: DesyncOptions = field(default_factory=DesyncOptions)
+    sync_banks: str | tuple[str, ...] = ()
+    check_equivalence: bool = True
+
+
+def default_variants() -> list[PipelineVariant]:
+    """The stock sweep grid: the strategy spectrum, partial conversion,
+    and the related-work baselines.
+
+    Equivalence-checked variants run the statically race-free SERIAL
+    discipline (the OVERLAP protocol's relative-timing assumptions are
+    genuinely violated on fine-grained fabrics — see
+    ``test_negative_hold_margin_is_observable`` — so an overlap sweep
+    row reports metrics, not a correctness verdict).  ``single`` keeps
+    the paper's OVERLAP default: a one-domain fabric has no
+    inter-domain race to lose.
+    """
+    serial = HandshakeMode.SERIAL
+    return [
+        PipelineVariant("scc-overlap", check_equivalence=False),
+        PipelineVariant("scc-serial",
+                        options=DesyncOptions(mode=serial)),
+        PipelineVariant("per-register-serial",
+                        options=DesyncOptions(mode=serial,
+                                              strategy="per-register")),
+        PipelineVariant("single-overlap",
+                        options=DesyncOptions(strategy="single")),
+        PipelineVariant("greedy-cap4-serial",
+                        options=DesyncOptions(mode=serial,
+                                              strategy="greedy-cap",
+                                              cluster_cap=4)),
+        PipelineVariant("partial-serial",
+                        options=DesyncOptions(mode=serial),
+                        sync_banks=AUTO_SYNC_BANKS),
+        # Baseline models carry one signal per latch bank (two per
+        # register): full reachability checks explode on the larger
+        # corpus members, so the sweep skips them (the structural and
+        # liveness checks run on small designs in the test suite).
+        PipelineVariant("dlap", pipeline="doubly_latched",
+                        options=DesyncOptions(validate_model=False),
+                        check_equivalence=False),
+        PipelineVariant("nonoverlap", pipeline="nonoverlap",
+                        options=DesyncOptions(validate_model=False),
+                        check_equivalence=False),
+    ]
+
+
+def auto_sync_banks(netlist: Netlist) -> tuple[str, ...]:
+    """Derive a deterministic sync-island selection for ``netlist``:
+    the first half (rounded up) of the base SCC domains by name."""
+    base = cluster_registers(netlist)
+    names = sorted(base.clusters)
+    return tuple(names[: (len(names) + 1) // 2])
+
+
+SWEEP_COLUMNS = [
+    "config", "variant", "pipeline", "strategy", "mode", "status",
+    "registers", "domains", "edges", "sync_island",
+    "sync_period_ps", "desync_cycle_ps", "cycle_ratio", "area_ratio",
+    "equiv_seeds", "equiv_ok", "hold_ok",
+]
+
+
+def sweep_pipelines(configs: list[str] | None = None,
+                    variants: list[PipelineVariant] | None = None,
+                    seeds: tuple[int, ...] = (0, 1),
+                    cycles: int = 10,
+                    backend: str = "event",
+                    max_equiv_instances: int = 200,
+                    hold_rounds: int = 8,
+                    ) -> tuple[list[str], list[list[object]]]:
+    """Run a (corpus config x pipeline variant) grid.
+
+    Returns ``(SWEEP_COLUMNS, rows)`` ready for
+    :func:`repro.report.write_json`.  Per cell: the variant's pipeline
+    runs end to end; full-flow variants with ``check_equivalence`` are
+    verified by the batched flow-equivalence sweep (synchronous
+    reference lane-parallel on the vector backend, one seeded stimulus
+    per entry of ``seeds``) and hold-screened on the timed model —
+    unless the design exceeds ``max_equiv_instances`` (event-driven
+    fabric simulation dominates the sweep cost), in which case the row
+    reports ``status='unchecked'``.  A variant that is structurally
+    inapplicable (e.g. ``per-register`` on a cyclic register graph)
+    reports ``status='invalid'`` instead of failing the sweep.
+    """
+    from repro.corpus import generate
+    from repro.equiv import check_flow_equivalence_batch
+
+    config_names = configs if configs is not None else _registry_names()
+    grid = variants if variants is not None else default_variants()
+    rows: list[list[object]] = []
+    for config in config_names:
+        netlist = generate(config)
+        for variant in grid:
+            rows.append(_sweep_cell(config, netlist, variant, seeds, cycles,
+                                    backend, max_equiv_instances,
+                                    hold_rounds,
+                                    check_flow_equivalence_batch))
+    return list(SWEEP_COLUMNS), rows
+
+
+def _registry_names() -> list[str]:
+    from repro.corpus import names
+    return names()
+
+
+def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
+                max_equiv_instances, hold_rounds, check_batch):
+    options = replace(variant.options)
+    if variant.sync_banks == AUTO_SYNC_BANKS:
+        options.sync_banks = auto_sync_banks(netlist)
+    elif variant.sync_banks:
+        options.sync_banks = tuple(variant.sync_banks)
+    row = {column: None for column in SWEEP_COLUMNS}
+    row.update(config=config, variant=variant.name,
+               pipeline=variant.pipeline, strategy=options.strategy,
+               mode=options.mode.value,
+               registers=len(netlist.dff_instances()))
+    try:
+        ctx = run_pipeline(netlist, options, pipeline=variant.pipeline)
+    except ReproError as exc:
+        row.update(status=f"invalid: {exc}"[:120])
+        return [row[column] for column in SWEEP_COLUMNS]
+    sync_period = ctx.sync_period()
+    desync_cycle = ctx.desync_cycle_time().cycle_time
+    row.update(domains=len(ctx.clustering.clusters),
+               edges=len(ctx.clustering.edges),
+               sync_island=ctx.sync_island,
+               sync_period_ps=sync_period,
+               desync_cycle_ps=desync_cycle,
+               cycle_ratio=desync_cycle / sync_period)
+    if ctx.network is None:
+        row.update(status="model-only")
+        return [row[column] for column in SWEEP_COLUMNS]
+    row.update(area_ratio=(ctx.desync_netlist.total_area()
+                           / ctx.sync_netlist.total_area()))
+    if not variant.check_equivalence:
+        row.update(status="unchecked")
+        return [row[column] for column in SWEEP_COLUMNS]
+    if len(ctx.sync_netlist) > max_equiv_instances:
+        row.update(status="unchecked", equiv_seeds=0)
+        return [row[column] for column in SWEEP_COLUMNS]
+    result = make_result(ctx)
+    try:
+        reports = check_batch(result, seeds, cycles=cycles, backend=backend)
+        equiv_ok = all(report.equivalent for report in reports.values())
+        hold_ok = all(check.ok
+                      for check in result.verify_hold(rounds=hold_rounds))
+    except ReproError as exc:
+        # A deadlocked/stalled fabric is a per-row verdict, not a reason
+        # to abort the grid and lose every completed row.
+        row.update(status=f"failed: {exc}"[:120], equiv_seeds=len(seeds),
+                   equiv_ok=False)
+        return [row[column] for column in SWEEP_COLUMNS]
+    row.update(status="ok" if (equiv_ok and hold_ok) else "failed",
+               equiv_seeds=len(reports), equiv_ok=equiv_ok,
+               hold_ok=hold_ok)
+    return [row[column] for column in SWEEP_COLUMNS]

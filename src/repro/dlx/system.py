@@ -134,17 +134,33 @@ class DlxSystem:
         }
 
     # ------------------------------------------------------------------
-    def run_desync(self, desync_netlist: Netlist, cycle_time_ps: float,
+    def run_desync(self, desync_netlist, cycle_time_ps: float | None = None,
                    max_cycles: int = 400, slice_ps: float = 150.0,
                    backend: str = "event") -> RunResult:
         """Run on the de-synchronized netlist with an event-driven
         engine (``backend`` selects interpreter or compiled).
+
+        ``desync_netlist`` may be the bare :class:`Netlist` (then
+        ``cycle_time_ps`` is required) or any pipeline product exposing
+        ``desync_netlist`` / ``desync_cycle_time()`` — a
+        :class:`~repro.desync.flow.DesyncResult` or
+        :class:`~repro.desync.pipeline.FlowContext` — from which the
+        cycle time defaults to the model's maximum cycle ratio.
 
         Memory is serviced every ``slice_ps``; stores commit when the
         write-enable output is observed asserted with a changed
         address/data tuple.  Register commits are reconstructed from the
         architectural register captures afterwards.
         """
+        if not isinstance(desync_netlist, Netlist):
+            result = desync_netlist
+            desync_netlist = result.desync_netlist
+            if cycle_time_ps is None:
+                cycle_time_ps = result.desync_cycle_time().cycle_time
+        if cycle_time_ps is None:
+            raise SimulationError(
+                "run_desync needs cycle_time_ps when given a bare netlist "
+                "(pass the DesyncResult/FlowContext to default it)")
         width = self.core.width
         initial: dict[str, int] = {}
         for i, bit in enumerate(int_to_bits(self._fetch(0), 32)):

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.desync.flow import DesyncResult
 from repro.desync.latchify import master_name
+from repro.desync.pipeline import FlowContext
 from repro.netlist.core import Netlist
 from repro.sim.backends import DEFAULT_BACKEND, make_simulator
 from repro.sim.logic import Value
@@ -125,13 +126,19 @@ def _input_fed_masters(netlist: Netlist, masters: dict[str, str]) -> list[str]:
     return sorted(fed)
 
 
-def desync_streams(result: DesyncResult, cycles: int,
+def desync_streams(result: DesyncResult | FlowContext, cycles: int,
                    inputs: dict[str, Value] | None = None,
                    inputs_per_cycle: list[dict[str, Value]] | None = None,
                    time_limit: float | None = None,
                    backend: str = DEFAULT_BACKEND,
                    ) -> dict[str, list[Value]]:
     """Per-register capture streams from the de-synchronized circuit.
+
+    ``result`` is a :class:`~repro.desync.flow.DesyncResult` or a
+    completed pipeline :class:`~repro.desync.pipeline.FlowContext` (any
+    pass sequence that materialized a controller network — including
+    partial-desync hybrids, whose sync island is just another local
+    clock domain to the fabric simulation).
 
     Runs the event-driven simulator (the engine named by ``backend``) on
     the controller fabric until every master latch has captured
@@ -203,7 +210,8 @@ def desync_streams(result: DesyncResult, cycles: int,
     }
 
 
-def check_flow_equivalence(result: DesyncResult, cycles: int = 20,
+def check_flow_equivalence(result: DesyncResult | FlowContext,
+                           cycles: int = 20,
                            inputs: dict[str, Value] | None = None,
                            inputs_per_cycle: list[dict[str, Value]] | None = None,
                            backend: str = DEFAULT_BACKEND,
@@ -252,7 +260,8 @@ def compare_streams(sync: dict[str, list[Value]],
     )
 
 
-def check_flow_equivalence_batch(result: DesyncResult, seeds: Iterable[int],
+def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
+                                 seeds: Iterable[int],
                                  cycles: int = 20,
                                  backend: str = DEFAULT_BACKEND,
                                  lanes: int = VECTOR_LANES,

@@ -29,9 +29,15 @@ clock starts low, all banks capture their reset wave first).
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.stg.stg import Stg, transition_name, RISE, FALL
 from repro.utils.errors import DesyncError
+
+if TYPE_CHECKING:
+    from repro.desync.clustering import Clustering
+    from repro.desync.network import DesyncNetwork
+    from repro.netlist.cells import Library
 
 
 def build_cluster_model(banks: list[str],
@@ -96,3 +102,36 @@ def build_cluster_model(banks: list[str],
             model.connect(p_rise, p_rise, tokens=1, delay=pace,
                           place=f"{pred}>{succ}:pace")
     return model
+
+
+def fabric_model(clustering: "Clustering", network: "DesyncNetwork",
+                 library: "Library", name: str = "cluster-model") -> Stg:
+    """Compose the fabric model of a materialized controller network.
+
+    Takes a strategy-produced :class:`~repro.desync.clustering.Clustering`
+    (any entry of ``CLUSTERING_STRATEGIES``, a partial-desync island
+    clustering, ...) plus the :class:`~repro.desync.network.DesyncNetwork`
+    the builder materialized from it, and wires the measured fabric
+    delays into :func:`build_cluster_model`.
+    """
+    from repro.desync.network import HandshakeMode
+
+    all_edges = set(clustering.edges)
+    for cluster in clustering.clusters.values():
+        if cluster.has_self_edge:
+            all_edges.add((cluster.name, cluster.name))
+
+    def controller_delay(bank: str) -> float:
+        return network.controllers[bank].latency
+
+    return build_cluster_model(
+        banks=list(clustering.clusters),
+        edges=all_edges,
+        request_delay=network.request_delay,
+        ack_delay=network.ack_delay(),
+        controller_delay=controller_delay,
+        pulse_width=2 * library["C3"].delay,
+        overlap=(network.mode is HandshakeMode.OVERLAP),
+        pacing_delay=network.pacing_delay,
+        name=name,
+    )

@@ -54,6 +54,19 @@ class DesyncError(ReproError):
     """De-synchronization flow failure."""
 
 
+class OptionsError(DesyncError):
+    """Invalid flow configuration, located at the offending option field.
+
+    ``field`` names the :class:`repro.desync.flow.DesyncOptions` attribute
+    (or pipeline-variant key) that failed validation, so sweep drivers can
+    report which knob of a generated grid was out of range.
+    """
+
+    def __init__(self, field: str, message: str):
+        super().__init__(f"option {field!r}: {message}")
+        self.field = field
+
+
 class DifferentialError(ReproError):
     """Differential-testing failure or harness misuse."""
 

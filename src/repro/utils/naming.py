@@ -40,6 +40,39 @@ def join(*parts: str) -> str:
     return HIER_SEP.join(part for part in parts if part)
 
 
+# ----------------------------------------------------------------------
+# Handshake-fabric net names.  These are the shared vocabulary between
+# the controller builders (repro.desync.controllers), the network
+# builder (repro.desync.network) and every consumer that inspects a
+# de-synchronized netlist (hold verification, mutation tests, power
+# accounting) — defined once here so the producers cannot drift apart.
+# ----------------------------------------------------------------------
+
+def clock_net_name(bank: str) -> str:
+    """Net carrying the local clock of cluster ``bank``."""
+    return f"lt:{bank}"
+
+
+def inverted_clock_name(bank: str) -> str:
+    """Net carrying the complement of ``lt:<bank>`` (shared per bank)."""
+    return f"ltn:{bank}"
+
+
+def request_net_name(pred: str, succ: str) -> str:
+    """Net carrying the matched-delay request of one adjacency."""
+    return f"req:{pred}>{succ}"
+
+
+def token_net_name(pred: str, succ: str) -> str:
+    """Net carrying the request-token state of one adjacency."""
+    return f"tok:{pred}>{succ}"
+
+
+def ack_net_name(pred: str, succ: str) -> str:
+    """Net carrying the acknowledge token state of one adjacency."""
+    return f"ack:{pred}>{succ}"
+
+
 def escape_verilog(name: str) -> str:
     """Return a Verilog-safe identifier for ``name``.
 

@@ -158,9 +158,7 @@ class TestDesyncDlx:
         program, data = load("shift_mask")
         system = DlxSystem(core16, program, data)
         golden = system.golden_result()
-        run = system.run_desync(result.desync_netlist,
-                                result.desync_cycle_time().cycle_time,
-                                max_cycles=50)
+        run = system.run_desync(result, max_cycles=50)
         assert run.halted
         for i in range(1, 8):
             assert run.registers[i] == golden.registers[i]
