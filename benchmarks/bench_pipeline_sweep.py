@@ -5,8 +5,14 @@ registry and the stock variant grid (clustering-strategy spectrum,
 partial sync-island conversion, related-work baseline pass sequences).
 Full-flow variants are verified by the batched flow-equivalence checker
 — synchronous reference streams lane-parallel on the vector backend,
-the self-timed side event-driven — and hold-screened on the timed
-model; model-only baselines report cycle-time metrics.
+the self-timed side lane-parallel on the schedule-replay engine (one
+recorded event simulation plus one bitwise replay per cell, falling
+back to per-seed event simulation with the reason in the
+``desync_engine`` column) — and hold-screened on the timed model;
+model-only baselines report cycle-time metrics.  Since the batched
+desync side made per-seed cost marginal, every verified cell runs the
+default eight-seed grid (``repro.desync.pipeline.SWEEP_SEEDS``), and
+each row carries its build-vs-verify wall-time split.
 
 Artifacts: ``benchmarks/out/BENCH_pipeline.txt`` (paper-style table)
 and ``benchmarks/out/BENCH_pipeline.json`` (versioned series for the
@@ -26,6 +32,7 @@ import pytest
 
 from benchmarks.conftest import out_path, write_out
 from repro.desync import sweep_pipelines
+from repro.desync.pipeline import SWEEP_SEEDS
 from repro.report import TextTable, write_json
 
 #: Small-but-diverse subset for the CI smoke job: a feed-forward
@@ -58,8 +65,7 @@ def _grid() -> list[str] | None:
 def test_bench_pipeline_sweep(benchmark):
     configs = _grid()
     columns, rows = benchmark.pedantic(
-        sweep_pipelines, kwargs={"configs": configs, "seeds": (0, 1),
-                                 "cycles": 10},
+        sweep_pipelines, kwargs={"configs": configs, "cycles": 10},
         rounds=1, iterations=1)
 
     table = TextTable("BENCH pipeline - strategy x corpus sweep", columns)
@@ -87,6 +93,18 @@ def test_bench_pipeline_sweep(benchmark):
     failed = {(cell["config"], cell["variant"]) for cell in by
               if cell["status"].startswith("failed")}
     assert failed <= KNOWN_DIVERGENT, failed - KNOWN_DIVERGENT
+    # Every verified row ran the full default seed grid on the batched
+    # desync engine; replay fallbacks are visible, never silent.
+    verified = [cell for cell in by
+                if cell["status"] in ("ok", "failed")]
+    assert all(cell["equiv_seeds"] == len(SWEEP_SEEDS) for cell in verified
+               if cell["equiv_seeds"]), verified
+    assert all(cell["desync_engine"] == "replay" for cell in ok), (
+        [c["desync_engine"] for c in ok])
+    # Build-vs-verify split recorded per row.
+    assert all(cell["build_ms"] is not None for cell in by)
+    assert all(cell["verify_ms"] is not None for cell in verified
+               if cell["status"] == "ok")
     # Baseline pass sequences produce model-level rows for every config.
     baselines = [cell for cell in by if cell["status"] == "model-only"]
     assert len(baselines) == 2 * n_configs

@@ -1,0 +1,64 @@
+"""Assert every ``benchmarks/out/BENCH_*.json`` carries the versioned
+envelope.
+
+Every JSON artifact of the benchmark harness must be written through
+:func:`repro.report.write_json`, whose envelope
+(``{"schema", "git_sha", "columns", "rows"}`` with the current
+``repro.report.JSON_SCHEMA`` tag) is what makes artifacts comparable
+across PRs in the perf trajectory.  CI runs this after each bench job so
+a bench that hand-rolls its JSON — or an envelope drift — fails the
+build instead of silently producing an incomparable artifact.
+
+Run:  PYTHONPATH=src python benchmarks/check_envelopes.py [out_dir]
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+from repro.report import JSON_SCHEMA
+
+ENVELOPE_KEYS = {"schema", "git_sha", "columns", "rows"}
+
+
+def check_envelopes(out_dir: str) -> list[str]:
+    """Validate every BENCH_*.json under ``out_dir``; returns the names
+    checked.  Raises ``SystemExit`` with a located message on the first
+    malformed artifact (and when there is nothing to check at all)."""
+    paths = sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json")))
+    if not paths:
+        raise SystemExit(f"no BENCH_*.json artifacts under {out_dir}")
+    for path in paths:
+        name = os.path.basename(path)
+        with open(path) as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{name}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or set(payload) != ENVELOPE_KEYS:
+            raise SystemExit(
+                f"{name}: envelope keys are "
+                f"{sorted(payload) if isinstance(payload, dict) else payload}"
+                f", expected {sorted(ENVELOPE_KEYS)}")
+        if payload["schema"] != JSON_SCHEMA:
+            raise SystemExit(
+                f"{name}: schema {payload['schema']!r} != {JSON_SCHEMA!r}")
+        columns = payload["columns"]
+        if not isinstance(columns, list) or not columns:
+            raise SystemExit(f"{name}: columns must be a non-empty list")
+        for index, row in enumerate(payload["rows"]):
+            if not isinstance(row, dict) or list(row) != columns:
+                raise SystemExit(
+                    f"{name}: row {index} keys do not match columns")
+    return [os.path.basename(path) for path in paths]
+
+
+if __name__ == "__main__":
+    directory = sys.argv[1] if len(sys.argv) > 1 else \
+        os.path.join(os.path.dirname(__file__), "out")
+    checked = check_envelopes(directory)
+    print(f"envelope ok for {len(checked)} artifact(s): "
+          + ", ".join(checked))

@@ -550,31 +550,48 @@ SWEEP_COLUMNS = [
     "config", "variant", "pipeline", "strategy", "mode", "status",
     "registers", "domains", "edges", "sync_island",
     "sync_period_ps", "desync_cycle_ps", "cycle_ratio", "area_ratio",
-    "equiv_seeds", "equiv_ok", "hold_ok",
+    "equiv_seeds", "equiv_ok", "hold_ok", "desync_engine",
+    "build_ms", "verify_ms",
 ]
+
+#: Default seed grid of the sweep: eight stimuli per verified cell.
+#: Affordable because the whole batch costs one schedule recording plus
+#: one lane-parallel replay per cell (both equivalence sides batched),
+#: not one event simulation per seed.
+SWEEP_SEEDS = tuple(range(8))
 
 
 def sweep_pipelines(configs: list[str] | None = None,
                     variants: list[PipelineVariant] | None = None,
-                    seeds: tuple[int, ...] = (0, 1),
+                    seeds: tuple[int, ...] = SWEEP_SEEDS,
                     cycles: int = 10,
-                    backend: str = "event",
+                    backend: str = "compiled",
                     max_equiv_instances: int = 200,
                     hold_rounds: int = 8,
+                    desync_engine: str = "replay",
                     ) -> tuple[list[str], list[list[object]]]:
     """Run a (corpus config x pipeline variant) grid.
 
     Returns ``(SWEEP_COLUMNS, rows)`` ready for
     :func:`repro.report.write_json`.  Per cell: the variant's pipeline
-    runs end to end; full-flow variants with ``check_equivalence`` are
-    verified by the batched flow-equivalence sweep (synchronous
-    reference lane-parallel on the vector backend, one seeded stimulus
-    per entry of ``seeds``) and hold-screened on the timed model —
-    unless the design exceeds ``max_equiv_instances`` (event-driven
-    fabric simulation dominates the sweep cost), in which case the row
-    reports ``status='unchecked'``.  A variant that is structurally
-    inapplicable (e.g. ``per-register`` on a cyclic register graph)
-    reports ``status='invalid'`` instead of failing the sweep.
+    runs end to end (**once** — the de-synchronized netlist is built per
+    cell and shared by every equivalence seed); full-flow variants with
+    ``check_equivalence`` are verified by the batched flow-equivalence
+    sweep — synchronous references lane-parallel on the vector backend,
+    the de-synchronized side on the schedule-replay engine selected by
+    ``desync_engine`` (``backend`` names the scalar event engine that
+    records the lane-0 schedule and carries any fallback) — and
+    hold-screened on the timed model, unless the design exceeds
+    ``max_equiv_instances`` (fabric simulation dominates the sweep
+    cost), in which case the row reports ``status='unchecked'``.  A
+    variant that is structurally inapplicable (e.g. ``per-register`` on
+    a cyclic register graph) reports ``status='invalid'`` instead of
+    failing the sweep.
+
+    Each row records the build-vs-verify wall-time split (``build_ms`` /
+    ``verify_ms``) and the engine(s) that produced the desync streams
+    (``desync_engine`` — replay fallbacks are reported per row, never
+    silent).
     """
     from repro.corpus import generate
     from repro.equiv import check_flow_equivalence_batch
@@ -587,7 +604,7 @@ def sweep_pipelines(configs: list[str] | None = None,
         for variant in grid:
             rows.append(_sweep_cell(config, netlist, variant, seeds, cycles,
                                     backend, max_equiv_instances,
-                                    hold_rounds,
+                                    hold_rounds, desync_engine,
                                     check_flow_equivalence_batch))
     return list(SWEEP_COLUMNS), rows
 
@@ -597,8 +614,24 @@ def _registry_names() -> list[str]:
     return names()
 
 
+def _engine_summary(reports) -> str:
+    """Condense per-seed desync engines into one sweep-row cell."""
+    engines = {report.desync_engine for report in reports.values()}
+    reasons = {report.fallback_reason for report in reports.values()
+               if report.fallback_reason}
+    if engines == {"replay"}:
+        return "replay"
+    label = "+".join(sorted(engines))
+    if reasons:
+        label += f" ({sorted(reasons)[0][:60]})"
+    return label
+
+
 def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
-                max_equiv_instances, hold_rounds, check_batch):
+                max_equiv_instances, hold_rounds, desync_engine,
+                check_batch):
+    from time import perf_counter
+
     options = replace(variant.options)
     if variant.sync_banks == AUTO_SYNC_BANKS:
         options.sync_banks = auto_sync_banks(netlist)
@@ -609,11 +642,14 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
                pipeline=variant.pipeline, strategy=options.strategy,
                mode=options.mode.value,
                registers=len(netlist.dff_instances()))
+    build_start = perf_counter()
     try:
         ctx = run_pipeline(netlist, options, pipeline=variant.pipeline)
     except ReproError as exc:
-        row.update(status=f"invalid: {exc}"[:120])
+        row.update(status=f"invalid: {exc}"[:120],
+                   build_ms=(perf_counter() - build_start) * 1e3)
         return [row[column] for column in SWEEP_COLUMNS]
+    row.update(build_ms=(perf_counter() - build_start) * 1e3)
     sync_period = ctx.sync_period()
     desync_cycle = ctx.desync_cycle_time().cycle_time
     row.update(domains=len(ctx.clustering.clusters),
@@ -634,8 +670,10 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
         row.update(status="unchecked", equiv_seeds=0)
         return [row[column] for column in SWEEP_COLUMNS]
     result = make_result(ctx)
+    verify_start = perf_counter()
     try:
-        reports = check_batch(result, seeds, cycles=cycles, backend=backend)
+        reports = check_batch(result, seeds, cycles=cycles, backend=backend,
+                              desync_engine=desync_engine)
         equiv_ok = all(report.equivalent for report in reports.values())
         hold_ok = all(check.ok
                       for check in result.verify_hold(rounds=hold_rounds))
@@ -643,9 +681,11 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
         # A deadlocked/stalled fabric is a per-row verdict, not a reason
         # to abort the grid and lose every completed row.
         row.update(status=f"failed: {exc}"[:120], equiv_seeds=len(seeds),
-                   equiv_ok=False)
+                   equiv_ok=False,
+                   verify_ms=(perf_counter() - verify_start) * 1e3)
         return [row[column] for column in SWEEP_COLUMNS]
     row.update(status="ok" if (equiv_ok and hold_ok) else "failed",
                equiv_seeds=len(reports), equiv_ok=equiv_ok,
-               hold_ok=hold_ok)
+               hold_ok=hold_ok, desync_engine=_engine_summary(reports),
+               verify_ms=(perf_counter() - verify_start) * 1e3)
     return [row[column] for column in SWEEP_COLUMNS]

@@ -32,7 +32,17 @@ from repro.sim.backends import DEFAULT_BACKEND, make_simulator
 from repro.sim.logic import Value
 from repro.sim.sync import CycleSimulator
 from repro.sim.vector import VECTOR_LANES, VectorCycleSimulator, pack_stimuli
-from repro.utils.errors import FlowEquivalenceError
+from repro.sim.vector_async import (
+    ScheduleReplaySimulator,
+    check_schedule_replayable,
+)
+from repro.utils.errors import FlowEquivalenceError, SimulationError
+
+#: Desync-side engine names accepted by the batch APIs: ``replay`` uses
+#: the lane-parallel schedule-replay engine with automatic (logged)
+#: fallback to scalar event simulation; ``scalar`` forces one event-
+#: driven run per stimulus.
+DESYNC_ENGINES = ("replay", "scalar")
 
 
 @dataclass
@@ -47,12 +57,21 @@ class Divergence:
 
 @dataclass
 class FlowEquivalenceReport:
-    """Outcome of a flow-equivalence check."""
+    """Outcome of a flow-equivalence check.
+
+    ``desync_engine`` records which engine produced the de-synchronized
+    streams (``"scalar"`` for a per-stimulus event run, ``"replay"`` for
+    the lane-parallel schedule-replay engine); ``fallback_reason`` is
+    set when a batch check asked for the replay engine but had to fall
+    back to scalar simulation — fallbacks are reported, never silent.
+    """
 
     equivalent: bool
     cycles_compared: int
     registers: int
     divergences: list[Divergence] = field(default_factory=list)
+    desync_engine: str = "scalar"
+    fallback_reason: str | None = None
 
     def assert_ok(self) -> None:
         if not self.equivalent:
@@ -126,44 +145,27 @@ def _input_fed_masters(netlist: Netlist, masters: dict[str, str]) -> list[str]:
     return sorted(fed)
 
 
-def desync_streams(result: DesyncResult | FlowContext, cycles: int,
-                   inputs: dict[str, Value] | None = None,
-                   inputs_per_cycle: list[dict[str, Value]] | None = None,
-                   time_limit: float | None = None,
-                   backend: str = DEFAULT_BACKEND,
-                   ) -> dict[str, list[Value]]:
-    """Per-register capture streams from the de-synchronized circuit.
+def _masters(result: DesyncResult | FlowContext) -> dict[str, str]:
+    """Master-latch name -> original flip-flop name."""
+    return {master_name(inst.name): inst.name
+            for inst in result.sync_netlist.dff_instances()}
 
-    ``result`` is a :class:`~repro.desync.flow.DesyncResult` or a
-    completed pipeline :class:`~repro.desync.pipeline.FlowContext` (any
-    pass sequence that materialized a controller network — including
-    partial-desync hybrids, whose sync island is just another local
-    clock domain to the fabric simulation).
 
-    Runs the event-driven simulator (the engine named by ``backend``) on
-    the controller fabric until every master latch has captured
-    ``cycles`` values (or ``time_limit`` ps elapse, which raises — a
-    stalled handshake is a real failure).  Streams are keyed by the
-    *original flip-flop name*.
+def _paced_run(sim, result: DesyncResult | FlowContext, cycles: int,
+               inputs_per_cycle, masters: dict[str, str],
+               time_limit: float | None = None) -> None:
+    """Drive the fabric simulation ``sim`` under observational pacing.
 
-    ``inputs_per_cycle`` supplies a varying stimulus with the same
-    alignment as :func:`reference_streams`: vector k is the environment
-    of cycle k, i.e. the value the input-fed registers store at their
-    k-th capture.  The de-synchronized circuit has no global clock, so
-    the environment is paced observationally — vector 0 is present
-    during reset, and vector k is driven as soon as every input-fed
-    master has completed its k-th capture (self-timed input stages run
-    ahead of deeper ones, which is why only the input-fed registers
-    gate the stepping).  This models the paper's environment assumption
-    that new data arrives early in each local cycle.
+    This is the environment protocol shared by the scalar and the
+    lane-parallel desync engines (``sim`` is any object with the event-
+    simulation surface: ``run``/``set_input``/``captures``): vector 0 is
+    present during reset, vector k is driven as soon as every input-fed
+    master has completed its k-th capture, and the run ends when every
+    master has captured ``cycles`` values — or raises when the horizon
+    passes first (a stalled handshake is a real failure).  Pacing reads
+    capture *counts* only, which are facts of the firing schedule, so
+    the protocol is identical for every stimulus lane.
     """
-    initial = dict(inputs or {})
-    if inputs_per_cycle:
-        initial.update(inputs_per_cycle[0])
-    sim = make_simulator(result.desync_netlist, backend,
-                         initial_inputs=initial)
-    ff_names = [inst.name for inst in result.sync_netlist.dff_instances()]
-    masters = {master_name(ff): ff for ff in ff_names}
     period = result.desync_cycle_time().cycle_time
     horizon = time_limit if time_limit is not None else \
         max(1.0, period) * (cycles + 8) * 2
@@ -204,10 +206,141 @@ def desync_streams(result: DesyncResult | FlowContext, cycles: int,
         raise FlowEquivalenceError(
             f"de-synchronized circuit stalled: {sorted(shortfall)[:5]} "
             f"captured fewer than {cycles} values within {horizon:.0f} ps")
+
+
+def desync_streams(result: DesyncResult | FlowContext, cycles: int,
+                   inputs: dict[str, Value] | None = None,
+                   inputs_per_cycle: list[dict[str, Value]] | None = None,
+                   time_limit: float | None = None,
+                   backend: str = DEFAULT_BACKEND,
+                   ) -> dict[str, list[Value]]:
+    """Per-register capture streams from the de-synchronized circuit.
+
+    ``result`` is a :class:`~repro.desync.flow.DesyncResult` or a
+    completed pipeline :class:`~repro.desync.pipeline.FlowContext` (any
+    pass sequence that materialized a controller network — including
+    partial-desync hybrids, whose sync island is just another local
+    clock domain to the fabric simulation).
+
+    Runs the event-driven simulator (the engine named by ``backend``) on
+    the controller fabric until every master latch has captured
+    ``cycles`` values (or ``time_limit`` ps elapse, which raises — a
+    stalled handshake is a real failure).  Streams are keyed by the
+    *original flip-flop name*.
+
+    ``inputs_per_cycle`` supplies a varying stimulus with the same
+    alignment as :func:`reference_streams`: vector k is the environment
+    of cycle k, i.e. the value the input-fed registers store at their
+    k-th capture.  The de-synchronized circuit has no global clock, so
+    the environment is paced observationally — vector 0 is present
+    during reset, and vector k is driven as soon as every input-fed
+    master has completed its k-th capture (self-timed input stages run
+    ahead of deeper ones, which is why only the input-fed registers
+    gate the stepping).  This models the paper's environment assumption
+    that new data arrives early in each local cycle.
+    """
+    initial = dict(inputs or {})
+    if inputs_per_cycle:
+        initial.update(inputs_per_cycle[0])
+    sim = make_simulator(result.desync_netlist, backend,
+                         initial_inputs=initial)
+    masters = _masters(result)
+    _paced_run(sim, result, cycles, inputs_per_cycle, masters,
+               time_limit=time_limit)
+    captures = sim.captures
     return {
         masters[m]: [capture.value for capture in captures[m][:cycles]]
         for m in masters
     }
+
+
+def replay_simulator(result: DesyncResult | FlowContext,
+                     stimuli: list[list[dict[str, Value]]],
+                     cycles: int,
+                     backend: str = DEFAULT_BACKEND,
+                     time_limit: float | None = None,
+                     ) -> ScheduleReplaySimulator:
+    """Run one lane-parallel schedule-replay pass over ``stimuli``.
+
+    Packs the N scalar stimuli into N lanes (stimulus *i* rides lane
+    *i*; N is the lane count, so split wider sweeps into blocks),
+    records the firing schedule from lane 0 on the scalar engine named
+    ``backend`` under the same observational pacing as
+    :func:`desync_streams`, and replays it across all lanes.  Returns
+    the replayed simulator — lane captures (with times) via
+    :meth:`~repro.sim.vector_async.ScheduleReplaySimulator.lane_captures`,
+    exact lane-0 observations via its recorder surface.  Raises
+    :class:`SimulationError` when the netlist fails the
+    data-independence proof or the lane-0 replay check.
+    """
+    packed = pack_stimuli(stimuli)
+    sim = ScheduleReplaySimulator(
+        result.desync_netlist, lanes=len(stimuli), scalar_backend=backend,
+        initial_inputs=packed[0] if packed else None)
+    _paced_run(sim, result, cycles, packed, _masters(result),
+               time_limit=time_limit)
+    sim.replay()
+    return sim
+
+
+def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
+                         stimuli: list[list[dict[str, Value]]],
+                         backend: str = DEFAULT_BACKEND,
+                         lanes: int = VECTOR_LANES,
+                         engine: str = "replay",
+                         ) -> tuple[list[dict[str, list[Value]]],
+                                    list[tuple[str, str | None]]]:
+    """De-synchronized capture streams for N stimuli, batched.
+
+    The desync-side counterpart of :func:`reference_streams_batch`: with
+    ``engine="replay"`` each block of up to ``lanes`` stimuli costs one
+    scalar recording run plus one lane-parallel replay instead of N
+    event simulations.  When the netlist fails the data-independence
+    proof — or a block's lane-0 replay check fails — that work falls
+    back to per-stimulus scalar simulation and the reason is recorded.
+
+    Returns ``(streams, engines)``: per stimulus, the streams keyed by
+    original flip-flop name, and an ``(engine, fallback_reason)`` pair
+    (``("replay", None)`` or ``("scalar", reason)``; ``reason`` is
+    ``None`` when scalar was requested explicitly).
+    """
+    if engine not in DESYNC_ENGINES:
+        raise FlowEquivalenceError(
+            f"unknown desync engine {engine!r} "
+            f"(have: {', '.join(DESYNC_ENGINES)})")
+    reason: str | None = None
+    if engine == "replay":
+        reason = check_schedule_replayable(result.desync_netlist)
+    masters = _masters(result)
+    streams: list[dict[str, list[Value]]] = []
+    engines: list[tuple[str, str | None]] = []
+
+    def scalar_block(block, why: str | None) -> None:
+        for stimulus in block:
+            streams.append(desync_streams(result, cycles,
+                                          inputs_per_cycle=stimulus,
+                                          backend=backend))
+            engines.append(("scalar", why))
+
+    for start in range(0, len(stimuli), lanes):
+        block = stimuli[start:start + lanes]
+        if engine != "replay" or reason is not None:
+            scalar_block(block, reason)
+            continue
+        try:
+            sim = replay_simulator(result, block, cycles, backend=backend)
+        except SimulationError as exc:
+            # The lane-0 replay check failed: the settlement semantics
+            # did not hold on this run (e.g. data in flight at a capture
+            # under a violated hold assumption).  Fall back, loudly.
+            scalar_block(block, str(exc))
+            continue
+        for lane in range(len(block)):
+            values = sim.lane_capture_values(lane)
+            streams.append({
+                masters[m]: values[m][:cycles] for m in masters})
+            engines.append(("replay", None))
+    return streams, engines
 
 
 def check_flow_equivalence(result: DesyncResult | FlowContext,
@@ -265,16 +398,21 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
                                  cycles: int = 20,
                                  backend: str = DEFAULT_BACKEND,
                                  lanes: int = VECTOR_LANES,
+                                 desync_engine: str = "replay",
                                  ) -> dict[int, FlowEquivalenceReport]:
-    """Flow-equivalence sweep over N seeded random stimuli, batched.
+    """Flow-equivalence sweep over N seeded random stimuli, batched on
+    **both** sides.
 
     One seeded stimulus per entry of ``seeds`` (see
-    :func:`repro.testing.stimulus.random_stimulus`); the synchronous
+    :func:`repro.testing.stimulus.random_stimulus`).  The synchronous
     reference side runs lane-parallel in ``ceil(N / lanes)`` vector
-    passes instead of N scalar simulations, which is what makes wide
-    scenario sweeps cheap — the self-timed side remains one event-driven
-    run per seed (handshake fabrics have no global cycle to batch on).
-    Returns a report per seed, in ``seeds`` order.
+    passes (:func:`reference_streams_batch`); the de-synchronized side
+    runs on the schedule-replay engine (:func:`desync_streams_batch`) —
+    one scalar recording plus one lane-parallel replay per block —
+    falling back to per-seed event simulation, with the reason recorded
+    on the reports, when the fabric fails the data-independence proof.
+    ``desync_engine="scalar"`` forces the per-seed path.  Returns a
+    report per seed, in ``seeds`` order.
     """
     from repro.testing.stimulus import random_stimulus
     seeds = list(seeds)
@@ -285,9 +423,14 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
                for seed in seeds]
     sync_streams = reference_streams_batch(result.sync_netlist, cycles,
                                            stimuli, lanes=lanes)
+    desync_list, engines = desync_streams_batch(
+        result, cycles, stimuli, backend=backend, lanes=lanes,
+        engine=desync_engine)
     reports: dict[int, FlowEquivalenceReport] = {}
-    for seed, stimulus, sync in zip(seeds, stimuli, sync_streams):
-        desync = desync_streams(result, cycles, inputs_per_cycle=stimulus,
-                                backend=backend)
-        reports[seed] = compare_streams(sync, desync, cycles)
+    for seed, sync, desync, (engine, reason) in zip(
+            seeds, sync_streams, desync_list, engines):
+        report = compare_streams(sync, desync, cycles)
+        report.desync_engine = engine
+        report.fallback_reason = reason
+        reports[seed] = report
     return reports

@@ -1,12 +1,16 @@
 """Logic simulation: event-driven (interpreted and compiled),
-cycle-accurate (scalar and lane-parallel), and waveforms."""
+cycle-accurate (scalar and lane-parallel), schedule-replay batching for
+de-synchronized fabrics, and waveforms."""
 
 from repro.sim.backends import (
+    ASYNC_BACKENDS,
     CYCLE_BACKENDS,
     DEFAULT_BACKEND,
     EVENT_BACKENDS,
+    async_backend_names,
     backend_names,
     cycle_backend_names,
+    make_async_simulator,
     make_cycle_simulator,
     make_simulator,
 )
@@ -28,6 +32,10 @@ from repro.sim.vector import (
     pack_stimuli,
     unpack_lanes,
 )
+from repro.sim.vector_async import (
+    ScheduleReplaySimulator,
+    check_schedule_replayable,
+)
 from repro.sim.waves import WaveGroup, Waveform, overlap_intervals
 
 __all__ = [
@@ -38,11 +46,14 @@ __all__ = [
     "to_char",
     "Capture",
     "CompiledSimulator",
+    "ASYNC_BACKENDS",
     "CYCLE_BACKENDS",
     "DEFAULT_BACKEND",
     "EVENT_BACKENDS",
+    "async_backend_names",
     "backend_names",
     "cycle_backend_names",
+    "make_async_simulator",
     "make_cycle_simulator",
     "make_simulator",
     "EventSimulator",
@@ -56,6 +67,8 @@ __all__ = [
     "pack_lanes",
     "pack_stimuli",
     "unpack_lanes",
+    "ScheduleReplaySimulator",
+    "check_schedule_replayable",
     "WaveGroup",
     "Waveform",
     "overlap_intervals",

@@ -16,6 +16,14 @@ registry.  Scalar (:mod:`repro.sim.sync`) and lane-parallel
 two-phase latch form; :func:`make_cycle_simulator` selects by name.
 The differential harness in :mod:`repro.testing` is what relates the
 cycle engines to the event engines.
+
+**Async batch engines** run *de-synchronized* fabrics many stimuli at a
+time: :class:`~repro.sim.vector_async.ScheduleReplaySimulator` records
+the data-independent firing schedule from one scalar event run and
+replays it lane-parallel.  It applies only when
+:func:`~repro.sim.vector_async.check_schedule_replayable` proves the
+control/data decomposition; callers fall back to per-stimulus event
+simulation (with the recorded reason) otherwise.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from repro.sim.compiled import CompiledSimulator
 from repro.sim.simulator import EventSimulator
 from repro.sim.sync import CycleSimulator, LatchCycleSimulator
 from repro.sim.vector import VectorCycleSimulator, VectorLatchCycleSimulator
+from repro.sim.vector_async import ScheduleReplaySimulator
 from repro.utils.errors import SimulationError
 
 #: Name -> class for the interchangeable event-driven engines.
@@ -41,6 +50,12 @@ CYCLE_BACKENDS: dict[str, type] = {
     "latch-cycle": LatchCycleSimulator,
     "vector": VectorCycleSimulator,
     "vector-latch": VectorLatchCycleSimulator,
+}
+
+#: Name -> class for the lane-parallel engines that batch *asynchronous*
+#: (de-synchronized) fabrics across stimuli.
+ASYNC_BACKENDS: dict[str, type] = {
+    "replay": ScheduleReplaySimulator,
 }
 
 #: The project-wide default engine.  Deliberately the interpreter: it
@@ -75,6 +90,31 @@ def make_simulator(netlist: Netlist, backend: str = DEFAULT_BACKEND,
         raise SimulationError(
             f"unknown simulator backend {backend!r} "
             f"(have: {', '.join(backend_names())})") from None
+    return cls(netlist, **kwargs)
+
+
+def async_backend_names() -> list[str]:
+    """Registered async-batch backend names, sorted."""
+    return sorted(ASYNC_BACKENDS)
+
+
+def make_async_simulator(netlist: Netlist, backend: str = "replay",
+                         **kwargs) -> ScheduleReplaySimulator:
+    """Instantiate the async-batch engine called ``backend``.
+
+    ``kwargs`` forward to the engine constructor (``lanes``,
+    ``scalar_backend``, ``initial_inputs``).  Raises
+    :class:`SimulationError` for an unknown backend name — and, for the
+    replay engine, when the netlist fails the data-independence proof
+    (callers that want a graceful fallback check
+    :func:`~repro.sim.vector_async.check_schedule_replayable` first).
+    """
+    try:
+        cls = ASYNC_BACKENDS[backend]
+    except KeyError:
+        raise SimulationError(
+            f"unknown async-simulator backend {backend!r} "
+            f"(have: {', '.join(async_backend_names())})") from None
     return cls(netlist, **kwargs)
 
 

@@ -68,24 +68,29 @@ def _comb_eval(vals, heap, seq, cell, in_slots, out_slot):
     if len(in_slots) == 1:
         s0 = in_slots[0]
         v0, v1 = tt & 1, (tt >> 1) & 1
+        lut = (v0, v1)
         x_out = v0 if v0 == v1 else None
 
+        # Indexing with None raises TypeError: the X path rides the
+        # (free-when-untaken) exception instead of a per-call check.
         def ev(old, now):
-            b = vals[s0]
-            heappush(heap, (now + delay, next(seq), out_slot,
-                            x_out if b is None else (v1 if b else v0)))
+            try:
+                value = lut[vals[s0]]
+            except TypeError:
+                value = x_out
+            heappush(heap, (now + delay, next(seq), out_slot, value))
         return ev
     eval_ternary = cell.eval_ternary
     if len(in_slots) == 2:
         s0, s1 = in_slots
+        lut = tuple((tt >> combo) & 1 for combo in range(4))
 
         def ev(old, now):
             a = vals[s0]
-            b = vals[s1]
-            if a is None or b is None:
-                value = eval_ternary((a, b))
-            else:
-                value = (tt >> (a + b + b)) & 1
+            try:
+                value = lut[a + vals[s1] * 2]
+            except TypeError:
+                value = eval_ternary((a, vals[s1]))
             heappush(heap, (now + delay, next(seq), out_slot, value))
         return ev
     slots = tuple(in_slots)
@@ -189,9 +194,25 @@ def _dff_clock_eval(vals, heap, seq, state, i, caps, name, cell,
                     d_slot, ck_slot, rn_slot, out_slot):
     delay = cell.delay
     heappush = heapq.heappush
+    if rn_slot < 0:
+        # No asynchronous reset (the common flip-flop): the clock-pin
+        # closure skips the reset check entirely — this runs once per
+        # register per clock edge, the hottest sequential path.
+        def ev(old, now):
+            new_clock = vals[ck_slot]
+            if old == 0 and new_clock == 1:
+                data = vals[d_slot]
+                caps.append(Capture(now, data))
+                if data != state[i]:
+                    state[i] = data
+                    heappush(heap, (now + delay, next(seq), out_slot, data))
+            elif new_clock is None:
+                raise SimulationError(
+                    f"clock of {name} became X at t={now}")
+        return ev
 
     def ev(old, now):
-        if rn_slot >= 0 and vals[rn_slot] == 0:
+        if vals[rn_slot] == 0:
             if state[i] != 0:
                 state[i] = 0
                 heappush(heap, (now + delay, next(seq), out_slot, 0))
@@ -224,9 +245,35 @@ def _latch_clock_eval(vals, heap, seq, state, i, caps, name, cell,
                       transparent, d_slot, en_slot, rn_slot, out_slot):
     delay = cell.delay
     heappush = heapq.heappush
+    if rn_slot < 0:
+        # No asynchronous reset (every latch the desync flow builds):
+        # one closure per enable edge per latch, reset check hoisted.
+        def ev(old, now):
+            enable = vals[en_slot]
+            if enable is None:
+                raise SimulationError(
+                    f"latch enable of {name} became X at t={now}")
+            if transparent:
+                closing = old == 1 and enable == 0
+            else:
+                closing = old == 0 and enable == 1
+            if closing:
+                captured = vals[d_slot]
+                caps.append(Capture(now, captured))
+                if captured != state[i]:
+                    state[i] = captured
+                    heappush(heap, (now + delay, next(seq), out_slot,
+                                    captured))
+                return
+            if enable == transparent:
+                data = vals[d_slot]
+                if data != state[i]:
+                    state[i] = data
+                    heappush(heap, (now + delay, next(seq), out_slot, data))
+        return ev
 
     def ev(old, now):
-        if rn_slot >= 0 and vals[rn_slot] == 0:
+        if vals[rn_slot] == 0:
             if state[i] != 0:
                 state[i] = 0
                 heappush(heap, (now + delay, next(seq), out_slot, 0))
@@ -258,9 +305,17 @@ def _latch_data_eval(vals, heap, seq, state, i, cell, transparent,
                      d_slot, en_slot, rn_slot, out_slot):
     delay = cell.delay
     heappush = heapq.heappush
+    if rn_slot < 0:
+        def ev(old, now):
+            if vals[en_slot] == transparent:
+                data = vals[d_slot]
+                if data != state[i]:
+                    state[i] = data
+                    heappush(heap, (now + delay, next(seq), out_slot, data))
+        return ev
 
     def ev(old, now):
-        if rn_slot >= 0 and vals[rn_slot] == 0:
+        if vals[rn_slot] == 0:
             if state[i] != 0:
                 state[i] = 0
                 heappush(heap, (now + delay, next(seq), out_slot, 0))
@@ -511,7 +566,14 @@ class CompiledSimulator:
     # execution
     # ------------------------------------------------------------------
     def run(self, until: float) -> SimStats:
-        """Process events up to and including time ``until``."""
+        """Process events up to and including time ``until``.
+
+        All events of one timestamp drain per outer iteration, so the
+        time comparison and ``now`` update are paid per instant rather
+        than per event — the heap already serves simultaneous events in
+        sequence order, so the event order (and therefore every
+        observable) is unchanged.
+        """
         heap = self._heap
         vals = self._vals
         sinks = self._sinks
@@ -524,33 +586,57 @@ class CompiledSimulator:
         heappop = heapq.heappop
         n_events = self.n_events
         now = self.now
-        while heap:
-            time = heap[0][0]
-            if time > until:
-                break
-            time, _, slot, value = heappop(heap)
-            if time > now:
-                now = time
-                self.now = time
-            old = vals[slot]
-            if value == old:
-                continue
-            vals[slot] = value
-            n_events += 1
-            if old is not None and value is not None:
-                toggles[slot] += 1
-                if energy is not None:
-                    joules = energy[slot]
-                    if joules is not None:
-                        energy_events.append((now, joules))
-            if record_any and rec[slot]:
-                hist[slot].append((now, value))
-            for fn in sinks[slot]:
-                fn(old, now)
+        # The common configuration (no history, no energy accounting)
+        # gets its own copy of the loop with those branches hoisted out
+        # entirely; the general loop carries them.
+        plain = not record_any and energy is None
+        try:
+            while heap:
+                time = heap[0][0]
+                if time > until:
+                    break
+                if time > now:
+                    now = time
+                    self.now = time
+                if plain:
+                    while True:
+                        _, _, slot, value = heappop(heap)
+                        old = vals[slot]
+                        if value != old:
+                            vals[slot] = value
+                            n_events += 1
+                            if old is not None and value is not None:
+                                toggles[slot] += 1
+                            for fn in sinks[slot]:
+                                fn(old, now)
+                        if not heap or heap[0][0] != time:
+                            break
+                    continue
+                while True:
+                    _, _, slot, value = heappop(heap)
+                    old = vals[slot]
+                    if value != old:
+                        vals[slot] = value
+                        n_events += 1
+                        if old is not None and value is not None:
+                            toggles[slot] += 1
+                            if energy is not None:
+                                joules = energy[slot]
+                                if joules is not None:
+                                    energy_events.append((now, joules))
+                        if record_any and rec[slot]:
+                            hist[slot].append((now, value))
+                        for fn in sinks[slot]:
+                            fn(old, now)
+                    if not heap or heap[0][0] != time:
+                        break
+        finally:
+            # A sink may raise (X clock/enable); the counter must still
+            # reflect every event applied before the failure.
+            self.n_events = n_events
         if until > now:
             now = until
         self.now = now
-        self.n_events = n_events
         return SimStats(end_time=now, n_events=n_events,
                         toggles=self.toggle_counts)
 

@@ -12,25 +12,32 @@ from typing import Any
 
 
 class EventQueue:
-    """Time-ordered event queue with stable FIFO ordering for ties."""
+    """Time-ordered event queue with stable FIFO ordering for ties.
+
+    The underlying binary heap is exposed as :attr:`heap` so that hot
+    simulation loops can pop entries without per-event method-call
+    overhead; entries are ``(time, sequence, payload)`` triples and the
+    ordering invariant belongs to :mod:`heapq` — mutate only through
+    ``heapq`` functions (or :meth:`push`/:meth:`pop`).
+    """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Any]] = []
+        self.heap: list[tuple[float, int, Any]] = []
         self._sequence = 0
 
     def push(self, time: float, payload: Any) -> None:
-        heapq.heappush(self._heap, (time, self._sequence, payload))
+        heapq.heappush(self.heap, (time, self._sequence, payload))
         self._sequence += 1
 
     def pop(self) -> tuple[float, Any]:
-        time, _, payload = heapq.heappop(self._heap)
+        time, _, payload = heapq.heappop(self.heap)
         return time, payload
 
     def peek_time(self) -> float | None:
-        return self._heap[0][0] if self._heap else None
+        return self.heap[0][0] if self.heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self.heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self.heap)

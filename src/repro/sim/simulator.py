@@ -25,6 +25,7 @@ inertial behaviour closely enough for delay-matched circuits).
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -126,14 +127,60 @@ class EventSimulator:
     # execution
     # ------------------------------------------------------------------
     def run(self, until: float) -> SimStats:
-        """Process events up to and including time ``until``."""
-        while self._queue:
-            peek = self._queue.peek_time()
-            if peek is None or peek > until:
-                break
-            time, (net_name, value) = self._queue.pop()
-            self.now = max(self.now, time)
-            self._apply(net_name, value)
+        """Process events up to and including time ``until``.
+
+        The scheduler loop binds every hot attribute to a local once and
+        drains all events of one timestamp per outer iteration, so the
+        time-advance bookkeeping is paid per *instant* rather than per
+        event — same event order (the heap already serves ties in
+        sequence order), same observable behaviour, measurably fewer
+        dictionary lookups on fabric-sized runs.
+        """
+        heap = self._queue.heap
+        pop = heapq.heappop
+        values = self.values
+        nets = self.netlist.nets
+        evaluate = self._evaluate
+        toggles = self.toggle_counts
+        history = self.history
+        recorded = self._recorded
+        record_all = self._record_all
+        record_energy = self._record_energy
+        n_events = self.n_events
+        try:
+            while heap:
+                time = heap[0][0]
+                if time > until:
+                    break
+                if time > self.now:
+                    self.now = time
+                now = self.now
+                while True:
+                    _, _, (net_name, value) = pop(heap)
+                    old = values[net_name]
+                    if value != old:
+                        values[net_name] = value
+                        n_events += 1
+                        if old is not None and value is not None:
+                            toggles[net_name] += 1
+                            if record_energy:
+                                net_obj = nets[net_name]
+                                driver = net_obj.driver_instance()
+                                if driver is not None:
+                                    self.energy_events.append(
+                                        (now, self.netlist.library
+                                         .switching_energy(driver.cell,
+                                                           net_obj.fanout)))
+                        if record_all or net_name in recorded:
+                            history[net_name].append((now, value))
+                        for inst, pin in nets[net_name].sinks:
+                            evaluate(inst, pin, old)
+                    if not heap or heap[0][0] != time:
+                        break
+        finally:
+            # A sink may raise (X clock/enable); the counter must still
+            # reflect every event applied before the failure.
+            self.n_events = n_events
         self.now = max(self.now, until)
         return SimStats(end_time=self.now, n_events=self.n_events,
                         toggles=dict(self.toggle_counts))
@@ -198,27 +245,6 @@ class EventSimulator:
                     if data != self._state[inst.name]:
                         self._state[inst.name] = data
                         self._schedule_output(inst, data)
-
-    def _apply(self, net_name: str, value: Value) -> None:
-        old = self.values[net_name]
-        if value == old:
-            return
-        self.values[net_name] = value
-        self.n_events += 1
-        if old is not None and value is not None:
-            self.toggle_counts[net_name] += 1
-            if self._record_energy:
-                net_obj = self.netlist.nets[net_name]
-                driver = net_obj.driver_instance()
-                if driver is not None:
-                    self.energy_events.append(
-                        (self.now, self.netlist.library.switching_energy(
-                            driver.cell, net_obj.fanout)))
-        if self._record_all or net_name in self._recorded:
-            self.history[net_name].append((self.now, value))
-        net = self.netlist.nets[net_name]
-        for inst, pin in net.sinks:
-            self._evaluate(inst, pin, old)
 
     def _evaluate(self, inst: Instance, changed_pin: str, old: Value) -> None:
         kind = inst.cell.kind

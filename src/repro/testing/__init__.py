@@ -21,6 +21,7 @@ from repro.testing.differential import (
     drive_clocked,
     minimize_prefix,
     run_differential,
+    run_differential_async,
     run_differential_batch,
     vector_runs,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "minimize_prefix",
     "random_stimulus",
     "run_differential",
+    "run_differential_async",
     "run_differential_batch",
     "vector_runs",
 ]

@@ -490,6 +490,66 @@ def run_differential_batch(netlist: Netlist, seeds: Iterable[int],
     return reports
 
 
+def run_differential_async(result, seeds: Iterable[int], cycles: int = 10,
+                           backend: str = "event",
+                           lanes: int = VECTOR_LANES,
+                           ) -> dict[int, DifferentialReport]:
+    """Differentially test the schedule-replay engine on a desync fabric.
+
+    ``result`` is a :class:`~repro.desync.flow.DesyncResult` (or
+    completed pipeline context).  One seeded stimulus per entry of
+    ``seeds``: the lane-parallel
+    :class:`~repro.sim.vector_async.ScheduleReplaySimulator` runs them
+    in ``ceil(N / lanes)`` recorded-and-replayed blocks (via
+    :func:`repro.equiv.desync_streams_batch`), each lane is demuxed, and
+    every per-seed capture-stream set is compared against an independent
+    scalar event simulation of the same stimulus on ``backend``.  A
+    fabric that fails the data-independence proof makes the batch side
+    fall back to the scalar engine — the comparison then degenerates to
+    scalar-vs-scalar, so the reports stay meaningful (and carry the
+    fallback in their backend tuple).  Returns a report per seed, in
+    ``seeds`` order.
+    """
+    from repro.equiv.flow_equivalence import (
+        desync_streams,
+        desync_streams_batch,
+    )
+    seeds = list(seeds)
+    if len(set(seeds)) != len(seeds):
+        raise DifferentialError(
+            "duplicate seeds in batch sweep (reports are keyed by seed)")
+    stimuli = [random_stimulus(result.sync_netlist, cycles, seed)
+               for seed in seeds]
+    batched, engines = desync_streams_batch(result, cycles, stimuli,
+                                            backend=backend, lanes=lanes)
+    reports: dict[int, DifferentialReport] = {}
+    for seed, stimulus, streams, (engine, _reason) in zip(
+            seeds, stimuli, batched, engines):
+        reference = desync_streams(result, cycles,
+                                   inputs_per_cycle=stimulus,
+                                   backend=backend)
+        mismatches: list[Mismatch] = []
+        for register in sorted(set(reference) | set(streams)):
+            expected = reference.get(register)
+            actual = streams.get(register)
+            if expected == actual:
+                continue
+            cycle = None
+            if expected is not None and actual is not None:
+                diffs = [k for k, (want, got)
+                         in enumerate(zip(expected, actual)) if want != got]
+                cycle = diffs[0] if diffs else min(len(expected),
+                                                   len(actual))
+            mismatches.append(Mismatch(
+                kind="captures", reference=backend, backend=engine,
+                register=register, cycle=cycle,
+                expected=expected, actual=actual))
+        reports[seed] = DifferentialReport(
+            netlist=result.desync_netlist.name, cycles=cycles, seed=seed,
+            backends=(backend, engine), mismatches=mismatches)
+    return reports
+
+
 def differential_corpus(configs: Iterable[str] | None = None,
                         cycles: int = 16, seed: int = DEFAULT_SEED,
                         backends: Iterable[str] = DEFAULT_BACKENDS,
