@@ -136,7 +136,8 @@ def test_bench_async_throughput(benchmark):
     with open(out_path("BENCH_async.json")) as handle:
         payload = json.load(handle)
     assert payload["schema"] == JSON_SCHEMA
-    assert set(payload) == {"schema", "git_sha", "columns", "rows"}
+    assert set(payload) == {"schema", "git_sha", "columns", "rows",
+                            "metrics"}
     assert payload["columns"] == COLUMNS
 
     by_name = {row[0]: dict(zip(COLUMNS, row)) for row in rows}

@@ -31,8 +31,11 @@ import os
 import pytest
 
 from benchmarks.conftest import out_path, write_out
-from repro.desync import sweep_pipelines
+from repro.corpus import generate
+from repro.desync import desynchronize, sweep_pipelines
 from repro.desync.pipeline import SWEEP_SEEDS
+from repro.obs import METRICS
+from repro.obs.probe import probe_handshakes
 from repro.report import TextTable, write_json
 
 #: Small-but-diverse subset for the CI smoke job: a feed-forward
@@ -64,7 +67,8 @@ def _grid() -> list[str] | None:
 @pytest.mark.benchmark(group="pipeline")
 def test_bench_pipeline_sweep(benchmark):
     configs = _grid()
-    columns, rows = benchmark.pedantic(
+    METRICS.reset()  # the envelope's metrics block is this run's alone
+    columns, rows, summary = benchmark.pedantic(
         sweep_pipelines, kwargs={"configs": configs, "cycles": 10},
         rounds=1, iterations=1)
 
@@ -74,8 +78,33 @@ def test_bench_pipeline_sweep(benchmark):
                          f"{cell:.3f}" if isinstance(cell, float) else cell)
                         for cell in row))
     table.print()
-    write_out("BENCH_pipeline.txt", table.render())
-    write_json(out_path("BENCH_pipeline.json"), columns, rows)
+
+    # Aggregated engine/fallback accounting for the whole grid (the
+    # per-row desync_engine column, rolled up), appended to the text
+    # artifact and asserted below.
+    engines = TextTable("BENCH pipeline - engine summary",
+                        ["kind", "name", "cells"])
+    for status, count in summary["statuses"].items():
+        engines.add_row("status", status, count)
+    for engine, count in summary["desync_engines"].items():
+        engines.add_row("desync_engine", engine, count)
+    for reason, count in summary["fallback_reasons"].items():
+        engines.add_row("fallback_reason", reason, count)
+    engines.print()
+    write_out("BENCH_pipeline.txt",
+              table.render() + "\n\n" + engines.render())
+
+    # Handshake metrics from a representative fabric ride along in the
+    # envelope's metrics block, next to the sweep.* counters the sweep
+    # itself recorded.
+    probe_config = (configs or SMOKE_CONFIGS)[0]
+    probe_handshakes(desynchronize(generate(probe_config)))
+    write_json(out_path("BENCH_pipeline.json"), columns, rows,
+               metrics=METRICS.snapshot())
+
+    assert summary["cells"] == len(rows)
+    assert sum(summary["desync_engines"].values()) >= 1
+    assert summary["statuses"].get("ok", 0) >= 1
 
     by = [dict(zip(columns, row)) for row in rows]
     n_configs = len({cell["config"] for cell in by})

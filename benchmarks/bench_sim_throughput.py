@@ -25,7 +25,8 @@ import time
 import pytest
 
 from benchmarks.conftest import out_path, write_out
-from repro.corpus import iter_corpus
+from repro.corpus import generate, iter_corpus
+from repro.obs import METRICS, TRACER
 from repro.report import TextTable, write_json
 from repro.testing import DEFAULT_SEED, drive_clocked, random_stimulus
 
@@ -33,6 +34,12 @@ CYCLES = 256
 REPEATS = 3
 #: The two largest configurations carry the acceptance floor.
 SPEEDUP_FLOOR = {"mult4": 3.0, "pipe8x2": 3.0}
+
+#: Ceiling on enabled-tracing slowdown of the event engine.  The
+#: instrumentation is span-per-run plus one counter flush, so the true
+#: ratio is ~1.0; the generous bound only exists to catch someone
+#: accidentally putting a span in the event loop.
+TRACE_OVERHEAD_CEILING = 1.5
 
 COLUMNS = ["name", "generator", "instances", "nets", "cycles", "events",
            "event_ms", "compiled_ms", "event_eps", "compiled_eps",
@@ -70,8 +77,41 @@ def _sweep() -> list[list[object]]:
     return rows
 
 
+def _traced_overhead() -> tuple[float, float]:
+    """Best-of-``REPEATS`` event-engine wall time (ms) on ``pipe8x2``,
+    tracer disabled then enabled.
+
+    If the tracer is already armed (``REPRO_TRACE`` covers the whole
+    process) both measurements run enabled rather than disarming an
+    externally owned trace — the ratio then trivially holds, which is
+    correct: there is no disabled baseline to regress against.
+    """
+    netlist = generate("pipe8x2")
+    stimulus = random_stimulus(netlist, CYCLES, seed=DEFAULT_SEED)
+
+    def best() -> float:
+        wall = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            drive_clocked(netlist, "event", stimulus)
+            wall = min(wall, time.perf_counter() - start)
+        return wall * 1e3
+
+    externally_armed = TRACER.enabled
+    disabled_ms = best()
+    if not externally_armed:
+        TRACER.start()
+    try:
+        enabled_ms = best()
+    finally:
+        if not externally_armed:
+            TRACER.stop()
+    return disabled_ms, enabled_ms
+
+
 @pytest.mark.benchmark(group="sim-throughput")
 def test_bench_sim_throughput(benchmark):
+    METRICS.reset()  # the envelope's metrics block is this run's alone
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
 
     table = TextTable("BENCH sim - event-driven throughput, "
@@ -81,8 +121,27 @@ def test_bench_sim_throughput(benchmark):
         table.add_row(*head, *(f"{value:,.0f}" if value >= 100 else
                                f"{value:.2f}" for value in values))
     table.print()
-    write_out("BENCH_sim.txt", table.render())
-    write_json(out_path("BENCH_sim.json"), COLUMNS, rows)
+
+    # Enabled-vs-disabled tracing overhead on the largest pipeline —
+    # the measured guarantee behind "tracing off costs nothing".
+    disabled_ms, enabled_ms = _traced_overhead()
+    ratio = enabled_ms / disabled_ms
+    METRICS.gauge("sim.trace_overhead.disabled_ms").set(disabled_ms)
+    METRICS.gauge("sim.trace_overhead.enabled_ms").set(enabled_ms)
+    METRICS.gauge("sim.trace_overhead.ratio").set(ratio)
+    overhead = TextTable("BENCH sim - tracing overhead (pipe8x2, event)",
+                         ["tracer", "best_ms"])
+    overhead.add_row("disabled", f"{disabled_ms:.2f}")
+    overhead.add_row("enabled", f"{enabled_ms:.2f}")
+    overhead.add_row("ratio", f"{ratio:.3f}")
+    overhead.print()
+    write_out("BENCH_sim.txt",
+              table.render() + "\n\n" + overhead.render())
+    write_json(out_path("BENCH_sim.json"), COLUMNS, rows,
+               metrics=METRICS.snapshot(prefix="sim"))
+    assert ratio < TRACE_OVERHEAD_CEILING, (
+        f"enabled tracing slows the event engine {ratio:.2f}x "
+        f"(ceiling {TRACE_OVERHEAD_CEILING}x)")
 
     assert len(rows) >= 10
     by_name = {row[0]: dict(zip(COLUMNS, row)) for row in rows}

@@ -113,7 +113,8 @@ def test_bench_vector_throughput(benchmark):
     with open(out_path("BENCH_vector.json")) as handle:
         payload = json.load(handle)
     assert payload["schema"] == JSON_SCHEMA
-    assert set(payload) == {"schema", "git_sha", "columns", "rows"}
+    assert set(payload) == {"schema", "git_sha", "columns", "rows",
+                            "metrics"}
     assert payload["columns"] == COLUMNS
     assert len(payload["rows"]) == len(rows)
 

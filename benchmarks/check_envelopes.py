@@ -3,9 +3,11 @@ envelope.
 
 Every JSON artifact of the benchmark harness must be written through
 :func:`repro.report.write_json`, whose envelope
-(``{"schema", "git_sha", "columns", "rows"}`` with the current
-``repro.report.JSON_SCHEMA`` tag) is what makes artifacts comparable
-across PRs in the perf trajectory.  CI runs this after each bench job so
+(``{"schema", "git_sha", "columns", "rows", "metrics"}`` with the
+current ``repro.report.JSON_SCHEMA`` tag) is what makes artifacts
+comparable across PRs in the perf trajectory.  The ``metrics`` block is
+a :meth:`repro.obs.MetricsRegistry.snapshot` — every entry must be a
+dict tagged with a known ``type``.  CI runs this after each bench job so
 a bench that hand-rolls its JSON — or an envelope drift — fails the
 build instead of silently producing an incomparable artifact.
 
@@ -21,7 +23,33 @@ import sys
 
 from repro.report import JSON_SCHEMA
 
-ENVELOPE_KEYS = {"schema", "git_sha", "columns", "rows"}
+ENVELOPE_KEYS = {"schema", "git_sha", "columns", "rows", "metrics"}
+
+#: ``type`` tags a metrics-block entry may carry, and the summary keys
+#: each tag requires (histograms summarize; counters/gauges are scalar).
+METRIC_TYPES = {
+    "counter": {"value"},
+    "gauge": {"value"},
+    "histogram": {"count", "min", "max", "mean", "p50", "p95"},
+}
+
+
+def _check_metrics(name: str, metrics: object) -> None:
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"{name}: metrics block must be a dict")
+    for metric, summary in metrics.items():
+        if not isinstance(summary, dict):
+            raise SystemExit(
+                f"{name}: metric {metric!r} must be a summary dict")
+        kind = summary.get("type")
+        if kind not in METRIC_TYPES:
+            raise SystemExit(
+                f"{name}: metric {metric!r} has type {kind!r}, expected "
+                f"one of {sorted(METRIC_TYPES)}")
+        missing = METRIC_TYPES[kind] - set(summary)
+        if missing:
+            raise SystemExit(
+                f"{name}: {kind} {metric!r} lacks keys {sorted(missing)}")
 
 
 def check_envelopes(out_dir: str) -> list[str]:
@@ -53,6 +81,7 @@ def check_envelopes(out_dir: str) -> list[str]:
             if not isinstance(row, dict) or list(row) != columns:
                 raise SystemExit(
                     f"{name}: row {index} keys do not match columns")
+        _check_metrics(name, payload["metrics"])
     return [os.path.basename(path) for path in paths]
 
 

@@ -273,6 +273,32 @@ class DesyncResult:
             checks.append(HoldCheck(pred, succ, worst))
         return checks
 
+    def dump_vcd(self, path: str, rounds: int = 10,
+                 backend: str = "event",
+                 nets: list[str] | None = None) -> str:
+        """Simulate the de-synchronized fabric and write a VCD file.
+
+        Free-runs the fabric for about ``rounds`` handshake rounds on
+        the event engine named ``backend`` and writes the recorded
+        waveforms as standard VCD (GTKWave-openable) to ``path``.
+        ``nets`` restricts the dump; by default every net is recorded —
+        handshake signals (``lt:*``, ``req:*``, ``ack:*``, ``tok:*``)
+        and data alike.  Returns ``path``.
+        """
+        from repro.obs.vcd import write_vcd
+        from repro.sim.backends import make_simulator
+
+        sim = make_simulator(self.desync_netlist, backend,
+                             record=nets, record_all=nets is None)
+        horizon = (rounds + 4) * max(1.0,
+                                     self.desync_cycle_time().cycle_time)
+        sim.run(horizon)
+        return write_vcd(path, sim.history,
+                         module=self.desync_netlist.name,
+                         comment=f"desync fabric of "
+                                 f"{self.sync_netlist.name}, "
+                                 f"{backend} engine, t<={sim.now:.0f}ps")
+
     def overhead_summary(self) -> dict[str, float]:
         """Area accounting of what de-synchronization added/removed."""
         return {

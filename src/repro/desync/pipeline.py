@@ -56,6 +56,8 @@ from repro.desync.flow import DesyncOptions, DesyncResult
 from repro.desync.latchify import latchify
 from repro.desync.network import DesyncNetwork, HandshakeMode, build_network
 from repro.netlist.core import Netlist, iter_register_banks
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.petri.analysis import CycleTimeResult, cycle_time
 from repro.stg.cluster_model import fabric_model
 from repro.stg.desync_model import extract_banks, latch_adjacency
@@ -66,14 +68,23 @@ from repro.utils.errors import DesyncError, OptionsError, ReproError
 
 @dataclass
 class PassRecord:
-    """Provenance of one executed pass: its name plus summary facts."""
+    """Provenance of one executed pass: its name plus summary facts.
+
+    ``duration_ms`` is the pass's wall time — the same interval the
+    tracer records as the ``pass:<name>`` span, kept on the record so
+    provenance carries the cost split even when tracing is off.
+    """
 
     name: str
     info: dict[str, object] = field(default_factory=dict)
+    duration_ms: float | None = None
 
     def describe(self) -> str:
         facts = ", ".join(f"{key}={value}" for key, value in
                           sorted(self.info.items()))
+        if self.duration_ms is not None:
+            facts = ", ".join(filter(None, [
+                facts, f"duration_ms={self.duration_ms:.2f}"]))
         return f"{self.name}: {facts}" if facts else self.name
 
 
@@ -379,13 +390,21 @@ class FlowPipeline:
 
     def run(self, netlist: Netlist,
             options: DesyncOptions | None = None) -> FlowContext:
+        from time import perf_counter
+
         opts = options if options is not None else DesyncOptions()
         netlist.validate()
         ctx = FlowContext(sync_netlist=netlist, options=opts,
                           pipeline=self.name)
-        for stage in self.passes:
-            info = stage.run(ctx)
-            ctx.records.append(PassRecord(stage.name, dict(info or {})))
+        with TRACER.span(f"pipeline:{self.name}", netlist=netlist.name):
+            for stage in self.passes:
+                start = perf_counter()
+                with TRACER.span(f"pass:{stage.name}") as span:
+                    info = stage.run(ctx)
+                    span.set(**(info or {}))
+                ctx.records.append(PassRecord(
+                    stage.name, dict(info or {}),
+                    duration_ms=(perf_counter() - start) * 1e3))
         return ctx
 
 
@@ -569,29 +588,33 @@ def sweep_pipelines(configs: list[str] | None = None,
                     max_equiv_instances: int = 200,
                     hold_rounds: int = 8,
                     desync_engine: str = "replay",
-                    ) -> tuple[list[str], list[list[object]]]:
+                    ) -> tuple[list[str], list[list[object]], dict]:
     """Run a (corpus config x pipeline variant) grid.
 
-    Returns ``(SWEEP_COLUMNS, rows)`` ready for
-    :func:`repro.report.write_json`.  Per cell: the variant's pipeline
-    runs end to end (**once** — the de-synchronized netlist is built per
-    cell and shared by every equivalence seed); full-flow variants with
-    ``check_equivalence`` are verified by the batched flow-equivalence
-    sweep — synchronous references lane-parallel on the vector backend,
-    the de-synchronized side on the schedule-replay engine selected by
-    ``desync_engine`` (``backend`` names the scalar event engine that
-    records the lane-0 schedule and carries any fallback) — and
-    hold-screened on the timed model, unless the design exceeds
-    ``max_equiv_instances`` (fabric simulation dominates the sweep
-    cost), in which case the row reports ``status='unchecked'``.  A
-    variant that is structurally inapplicable (e.g. ``per-register`` on
-    a cyclic register graph) reports ``status='invalid'`` instead of
+    Returns ``(SWEEP_COLUMNS, rows, summary)``; columns and rows are
+    ready for :func:`repro.report.write_json`.  Per cell: the variant's
+    pipeline runs end to end (**once** — the de-synchronized netlist is
+    built per cell and shared by every equivalence seed); full-flow
+    variants with ``check_equivalence`` are verified by the batched
+    flow-equivalence sweep — synchronous references lane-parallel on the
+    vector backend, the de-synchronized side on the schedule-replay
+    engine selected by ``desync_engine`` (``backend`` names the scalar
+    event engine that records the lane-0 schedule and carries any
+    fallback) — and hold-screened on the timed model, unless the design
+    exceeds ``max_equiv_instances`` (fabric simulation dominates the
+    sweep cost), in which case the row reports ``status='unchecked'``.
+    A variant that is structurally inapplicable (e.g. ``per-register``
+    on a cyclic register graph) reports ``status='invalid'`` instead of
     failing the sweep.
 
     Each row records the build-vs-verify wall-time split (``build_ms`` /
     ``verify_ms``) and the engine(s) that produced the desync streams
     (``desync_engine`` — replay fallbacks are reported per row, never
-    silent).
+    silent).  ``summary`` aggregates across the whole grid what the
+    per-row strings only show locally: status counts, per-seed desync
+    engine counts, and fallback-reason counts; the same totals land in
+    the global metrics registry under ``sweep.*``.  Every cell also gets
+    a ``sweep:cell`` tracer span.
     """
     from repro.corpus import generate
     from repro.equiv import check_flow_equivalence_batch
@@ -599,14 +622,45 @@ def sweep_pipelines(configs: list[str] | None = None,
     config_names = configs if configs is not None else _registry_names()
     grid = variants if variants is not None else default_variants()
     rows: list[list[object]] = []
-    for config in config_names:
-        netlist = generate(config)
-        for variant in grid:
-            rows.append(_sweep_cell(config, netlist, variant, seeds, cycles,
-                                    backend, max_equiv_instances,
-                                    hold_rounds, desync_engine,
-                                    check_flow_equivalence_batch))
-    return list(SWEEP_COLUMNS), rows
+    statuses: dict[str, int] = {}
+    engines: dict[str, int] = {}
+    reasons: dict[str, int] = {}
+    status_index = SWEEP_COLUMNS.index("status")
+    engine_index = SWEEP_COLUMNS.index("desync_engine")
+    with TRACER.span("sweep:grid", configs=len(config_names),
+                     variants=len(grid)) as grid_span:
+        for config in config_names:
+            netlist = generate(config)
+            for variant in grid:
+                with TRACER.span("sweep:cell", config=config,
+                                 variant=variant.name) as span:
+                    row, stats = _sweep_cell(
+                        config, netlist, variant, seeds, cycles, backend,
+                        max_equiv_instances, hold_rounds, desync_engine,
+                        check_flow_equivalence_batch)
+                    span.set(status=row[status_index],
+                             desync_engine=row[engine_index])
+                rows.append(row)
+                status = (row[status_index] or "").split(":")[0]
+                statuses[status] = statuses.get(status, 0) + 1
+                for engine, count in stats["engines"].items():
+                    engines[engine] = engines.get(engine, 0) + count
+                for reason, count in stats["reasons"].items():
+                    reasons[reason] = reasons.get(reason, 0) + count
+        grid_span.set(cells=len(rows))
+    for status, count in statuses.items():
+        METRICS.counter(f"sweep.status.{status}").inc(count)
+    for engine, count in engines.items():
+        METRICS.counter(f"sweep.desync_engine.{engine}").inc(count)
+    if reasons:
+        METRICS.counter("sweep.replay_fallbacks").inc(sum(reasons.values()))
+    summary = {
+        "cells": len(rows),
+        "statuses": dict(sorted(statuses.items())),
+        "desync_engines": dict(sorted(engines.items())),
+        "fallback_reasons": dict(sorted(reasons.items())),
+    }
+    return list(SWEEP_COLUMNS), rows, summary
 
 
 def _registry_names() -> list[str]:
@@ -630,8 +684,15 @@ def _engine_summary(reports) -> str:
 def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
                 max_equiv_instances, hold_rounds, desync_engine,
                 check_batch):
+    """One grid cell: ``(row_values, stats)``.
+
+    ``stats`` carries the per-seed aggregation inputs the row string
+    cannot: ``engines`` (desync engine -> seed count) and ``reasons``
+    (fallback reason -> seed count), both empty for unverified cells.
+    """
     from time import perf_counter
 
+    stats = {"engines": {}, "reasons": {}}
     options = replace(variant.options)
     if variant.sync_banks == AUTO_SYNC_BANKS:
         options.sync_banks = auto_sync_banks(netlist)
@@ -642,13 +703,17 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
                pipeline=variant.pipeline, strategy=options.strategy,
                mode=options.mode.value,
                registers=len(netlist.dff_instances()))
+
+    def cell(values):
+        return [values[column] for column in SWEEP_COLUMNS], stats
+
     build_start = perf_counter()
     try:
         ctx = run_pipeline(netlist, options, pipeline=variant.pipeline)
     except ReproError as exc:
         row.update(status=f"invalid: {exc}"[:120],
                    build_ms=(perf_counter() - build_start) * 1e3)
-        return [row[column] for column in SWEEP_COLUMNS]
+        return cell(row)
     row.update(build_ms=(perf_counter() - build_start) * 1e3)
     sync_period = ctx.sync_period()
     desync_cycle = ctx.desync_cycle_time().cycle_time
@@ -660,15 +725,15 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
                cycle_ratio=desync_cycle / sync_period)
     if ctx.network is None:
         row.update(status="model-only")
-        return [row[column] for column in SWEEP_COLUMNS]
+        return cell(row)
     row.update(area_ratio=(ctx.desync_netlist.total_area()
                            / ctx.sync_netlist.total_area()))
     if not variant.check_equivalence:
         row.update(status="unchecked")
-        return [row[column] for column in SWEEP_COLUMNS]
+        return cell(row)
     if len(ctx.sync_netlist) > max_equiv_instances:
         row.update(status="unchecked", equiv_seeds=0)
-        return [row[column] for column in SWEEP_COLUMNS]
+        return cell(row)
     result = make_result(ctx)
     verify_start = perf_counter()
     try:
@@ -683,9 +748,17 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
         row.update(status=f"failed: {exc}"[:120], equiv_seeds=len(seeds),
                    equiv_ok=False,
                    verify_ms=(perf_counter() - verify_start) * 1e3)
-        return [row[column] for column in SWEEP_COLUMNS]
+        return cell(row)
+    for report in reports.values():
+        engines = stats["engines"]
+        engines[report.desync_engine] = \
+            engines.get(report.desync_engine, 0) + 1
+        if report.fallback_reason:
+            reasons = stats["reasons"]
+            reasons[report.fallback_reason] = \
+                reasons.get(report.fallback_reason, 0) + 1
     row.update(status="ok" if (equiv_ok and hold_ok) else "failed",
                equiv_seeds=len(reports), equiv_ok=equiv_ok,
                hold_ok=hold_ok, desync_engine=_engine_summary(reports),
                verify_ms=(perf_counter() - verify_start) * 1e3)
-    return [row[column] for column in SWEEP_COLUMNS]
+    return cell(row)

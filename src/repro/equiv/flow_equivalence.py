@@ -28,6 +28,8 @@ from repro.desync.flow import DesyncResult
 from repro.desync.latchify import master_name
 from repro.desync.pipeline import FlowContext
 from repro.netlist.core import Netlist
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.sim.backends import DEFAULT_BACKEND, make_simulator
 from repro.sim.logic import Value
 from repro.sim.sync import CycleSimulator
@@ -111,9 +113,12 @@ def reference_streams_batch(netlist: Netlist, cycles: int,
     streams: list[dict[str, list[Value]]] = []
     for start in range(0, len(stimuli), lanes):
         block = stimuli[start:start + lanes]
-        sim = VectorCycleSimulator(netlist, lanes=len(block))
-        sim.run(cycles, pack_stimuli(block))
-        streams.extend(sim.lane_captures(lane) for lane in range(len(block)))
+        with TRACER.span("equiv:reference-block", netlist=netlist.name,
+                         start=start, lanes=len(block)):
+            sim = VectorCycleSimulator(netlist, lanes=len(block))
+            sim.run(cycles, pack_stimuli(block))
+            streams.extend(sim.lane_captures(lane)
+                           for lane in range(len(block)))
     return streams
 
 
@@ -166,6 +171,15 @@ def _paced_run(sim, result: DesyncResult | FlowContext, cycles: int,
     capture *counts* only, which are facts of the firing schedule, so
     the protocol is identical for every stimulus lane.
     """
+    with TRACER.span("sim:paced-run",
+                     engine=type(sim).__name__, cycles=cycles) as span:
+        _paced_run_inner(sim, result, cycles, inputs_per_cycle, masters,
+                         time_limit)
+        span.count("sim.events_popped", getattr(sim, "n_events", 0))
+
+
+def _paced_run_inner(sim, result, cycles, inputs_per_cycle, masters,
+                     time_limit):
     period = result.desync_cycle_time().cycle_time
     horizon = time_limit if time_limit is not None else \
         max(1.0, period) * (cycles + 8) * 2
@@ -316,11 +330,17 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
     engines: list[tuple[str, str | None]] = []
 
     def scalar_block(block, why: str | None) -> None:
-        for stimulus in block:
-            streams.append(desync_streams(result, cycles,
-                                          inputs_per_cycle=stimulus,
-                                          backend=backend))
-            engines.append(("scalar", why))
+        fallen_back = engine == "replay"
+        with TRACER.span("equiv:desync-block", engine="scalar",
+                         lanes=len(block), fallback_reason=why):
+            for stimulus in block:
+                streams.append(desync_streams(result, cycles,
+                                              inputs_per_cycle=stimulus,
+                                              backend=backend))
+                engines.append(("scalar", why))
+        if fallen_back:
+            METRICS.counter("equiv.blocks.scalar_fallback").inc()
+            METRICS.counter("equiv.seeds.scalar_fallback").inc(len(block))
 
     for start in range(0, len(stimuli), lanes):
         block = stimuli[start:start + lanes]
@@ -328,13 +348,17 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
             scalar_block(block, reason)
             continue
         try:
-            sim = replay_simulator(result, block, cycles, backend=backend)
+            with TRACER.span("equiv:desync-block", engine="replay",
+                             lanes=len(block)):
+                sim = replay_simulator(result, block, cycles,
+                                       backend=backend)
         except SimulationError as exc:
             # The lane-0 replay check failed: the settlement semantics
             # did not hold on this run (e.g. data in flight at a capture
             # under a violated hold assumption).  Fall back, loudly.
             scalar_block(block, str(exc))
             continue
+        METRICS.counter("equiv.blocks.replay").inc()
         for lane in range(len(block)):
             values = sim.lane_capture_values(lane)
             streams.append({
@@ -362,12 +386,16 @@ def check_flow_equivalence(result: DesyncResult | FlowContext,
         raise FlowEquivalenceError(
             f"inputs_per_cycle has {len(inputs_per_cycle)} vectors but "
             f"{cycles} cycles are compared")
-    sync = reference_streams(result.sync_netlist, cycles, inputs=inputs,
-                             inputs_per_cycle=inputs_per_cycle)
-    desync = desync_streams(result, cycles, inputs=inputs,
-                            inputs_per_cycle=inputs_per_cycle,
-                            backend=backend)
-    return compare_streams(sync, desync, cycles)
+    with TRACER.span("equiv:check", netlist=result.sync_netlist.name,
+                     cycles=cycles, desync_engine="scalar") as span:
+        sync = reference_streams(result.sync_netlist, cycles, inputs=inputs,
+                                 inputs_per_cycle=inputs_per_cycle)
+        desync = desync_streams(result, cycles, inputs=inputs,
+                                inputs_per_cycle=inputs_per_cycle,
+                                backend=backend)
+        report = compare_streams(sync, desync, cycles)
+        span.set(equivalent=report.equivalent)
+    return report
 
 
 def compare_streams(sync: dict[str, list[Value]],
@@ -419,18 +447,22 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
     if len(set(seeds)) != len(seeds):
         raise FlowEquivalenceError(
             "duplicate seeds in batch sweep (reports are keyed by seed)")
-    stimuli = [random_stimulus(result.sync_netlist, cycles, seed)
-               for seed in seeds]
-    sync_streams = reference_streams_batch(result.sync_netlist, cycles,
-                                           stimuli, lanes=lanes)
-    desync_list, engines = desync_streams_batch(
-        result, cycles, stimuli, backend=backend, lanes=lanes,
-        engine=desync_engine)
-    reports: dict[int, FlowEquivalenceReport] = {}
-    for seed, sync, desync, (engine, reason) in zip(
-            seeds, sync_streams, desync_list, engines):
-        report = compare_streams(sync, desync, cycles)
-        report.desync_engine = engine
-        report.fallback_reason = reason
-        reports[seed] = report
+    with TRACER.span("equiv:batch", netlist=result.sync_netlist.name,
+                     seeds=len(seeds), cycles=cycles,
+                     desync_engine=desync_engine) as span:
+        stimuli = [random_stimulus(result.sync_netlist, cycles, seed)
+                   for seed in seeds]
+        sync_streams = reference_streams_batch(result.sync_netlist, cycles,
+                                               stimuli, lanes=lanes)
+        desync_list, engines = desync_streams_batch(
+            result, cycles, stimuli, backend=backend, lanes=lanes,
+            engine=desync_engine)
+        reports: dict[int, FlowEquivalenceReport] = {}
+        for seed, sync, desync, (engine, reason) in zip(
+                seeds, sync_streams, desync_list, engines):
+            report = compare_streams(sync, desync, cycles)
+            report.desync_engine = engine
+            report.fallback_reason = reason
+            reports[seed] = report
+        span.set(equivalent=all(r.equivalent for r in reports.values()))
     return reports

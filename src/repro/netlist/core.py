@@ -22,6 +22,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.netlist.cells import Cell, CellKind, Library, GENERIC
+from repro.obs.trace import TRACER as _TRACER
 from repro.utils.errors import NetlistError
 from repro.utils.naming import NameScope
 
@@ -158,6 +159,10 @@ class Netlist:
         if hit is None:
             hit = compute()
             self._query_cache[key] = hit
+            if _TRACER.enabled:
+                _TRACER.count("netlist.memo_misses")
+        elif _TRACER.enabled:
+            _TRACER.count("netlist.memo_hits")
         return hit
 
     # ------------------------------------------------------------------

@@ -1,0 +1,221 @@
+"""Value-change-dump (VCD) export for simulator histories.
+
+:func:`write_vcd` turns an :class:`EventSimulator` history dict (or a
+:class:`repro.sim.waves.WaveGroup`) into a standard IEEE 1364 VCD file
+that GTKWave and every other waveform viewer can open — the natural way
+to *look at* a de-synchronized fabric's overlapping latch enables and
+handshake firings instead of squinting at capture tuples.
+
+Three-valued logic maps directly: ``1``/``0`` dump as themselves and
+``None`` dumps as ``x``.  Times are scaled from the simulator's
+picosecond axis to the chosen ``$timescale`` and rounded to integers
+(VCD times are integral); the flow's delays are integral picoseconds,
+so the default ``1ps`` timescale round-trips exactly.
+
+:func:`parse_vcd` is the matching minimal reader — enough to round-trip
+files produced here (and by other tools emitting scalar wires) back
+into a :class:`WaveGroup` for tests and differential triage.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.sim.logic import Value
+from repro.sim.waves import WaveGroup
+from repro.utils.errors import ReproError
+
+#: Supported ``$timescale`` values, as picoseconds per VCD time unit.
+TIMESCALE_PS = {
+    "1fs": 1e-3,
+    "1ps": 1.0,
+    "10ps": 10.0,
+    "100ps": 100.0,
+    "1ns": 1e3,
+    "10ns": 1e4,
+}
+
+# VCD identifier codes: printable ASCII '!' (33) .. '~' (126), extended
+# to two characters once the single ones run out.
+_ID_FIRST, _ID_LAST = 33, 127
+
+
+def _identifier(index: int) -> str:
+    """The ``index``-th VCD identifier code (shortest-first)."""
+    span = _ID_LAST - _ID_FIRST
+    if index < span:
+        return chr(_ID_FIRST + index)
+    index -= span
+    return chr(_ID_FIRST + index // span) + chr(_ID_FIRST + index % span)
+
+
+def _value_char(value: Value) -> str:
+    if value is None:
+        return "x"
+    return "1" if value else "0"
+
+
+def write_vcd(path: str,
+              source: "WaveGroup | dict[str, list[tuple[float, Value]]]",
+              timescale: str = "1ps",
+              module: str = "top",
+              order: list[str] | None = None,
+              comment: str | None = None) -> str:
+    """Write ``source`` as a VCD file at ``path`` and return the path.
+
+    ``source`` is either a :class:`WaveGroup` or an
+    ``EventSimulator.history``-shaped dict (``net -> [(time, value)]``).
+    ``order`` pins the variable declaration order (default: sorted net
+    names); ``module`` names the single ``$scope``.  Times are divided
+    by the picoseconds-per-unit of ``timescale`` and rounded — changes
+    that collapse onto the same integral time stay in order within one
+    ``#time`` block, which viewers resolve last-wins exactly like the
+    simulator does.
+    """
+    if timescale not in TIMESCALE_PS:
+        raise ReproError(
+            f"unsupported VCD timescale {timescale!r}; "
+            f"choose one of {sorted(TIMESCALE_PS)}")
+    unit_ps = TIMESCALE_PS[timescale]
+    group = (source if isinstance(source, WaveGroup)
+             else WaveGroup.from_history(source))
+    names = list(order) if order is not None else sorted(group.waves)
+    for name in names:
+        if name not in group.waves:
+            raise ReproError(f"order names unknown signal {name!r}")
+        if any(char.isspace() for char in name):
+            raise ReproError(
+                f"signal {name!r} contains whitespace; "
+                "VCD identifiers cannot represent it")
+    codes = {name: _identifier(i) for i, name in enumerate(names)}
+
+    lines: list[str] = []
+    if comment:
+        lines.append(f"$comment {comment} $end")
+    lines.append(f"$timescale {timescale} $end")
+    lines.append(f"$scope module {module} $end")
+    for name in names:
+        lines.append(f"$var wire 1 {codes[name]} {name} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    # Initial block: the value of every signal at t=0 ('x' when the
+    # first change comes later).  Changes at t=0 are consumed here so
+    # they are not re-dumped in a redundant "#0" block.
+    lines.append("$dumpvars")
+    for name in names:
+        lines.append(f"{_value_char(group.waves[name].at(0.0))}"
+                     f"{codes[name]}")
+    lines.append("$end")
+
+    merged: list[tuple[int, int, str]] = []
+    for position, name in enumerate(names):
+        code = codes[name]
+        for time, value in group.waves[name].changes:
+            ticks = round(time / unit_ps)
+            if ticks > 0:
+                merged.append((ticks, position,
+                               f"{_value_char(value)}{code}"))
+    merged.sort()
+    current = None
+    for ticks, _position, change in merged:
+        if ticks != current:
+            lines.append(f"#{ticks}")
+            current = ticks
+        lines.append(change)
+
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+@dataclass
+class ParsedVcd:
+    """Result of :func:`parse_vcd`: the header facts plus the waves."""
+
+    timescale: str
+    module: str
+    group: WaveGroup
+
+
+def parse_vcd(text: str) -> ParsedVcd:
+    """Parse scalar-wire VCD text back into a :class:`WaveGroup`.
+
+    Supports the subset :func:`write_vcd` emits (plus tolerant
+    whitespace): single-bit ``$var wire`` declarations, ``$dumpvars``
+    initial values, and ``0/1/x/X`` scalar changes.  ``x`` inside
+    ``$dumpvars`` means "no value yet" and produces no change, matching
+    the writer; ``x`` at a later time records a ``None`` change.
+    """
+    timescale = "1ps"
+    module = "top"
+    names_by_code: dict[str, str] = {}
+    tokens = text.split()
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "$timescale":
+            end = tokens.index("$end", index)
+            timescale = "".join(tokens[index + 1:end])
+            index = end + 1
+        elif token == "$scope":
+            end = tokens.index("$end", index)
+            if end - index >= 3:
+                module = tokens[index + 2]
+            index = end + 1
+        elif token == "$var":
+            end = tokens.index("$end", index)
+            fields = tokens[index + 1:end]
+            if len(fields) < 4:
+                raise ReproError(f"malformed $var: {' '.join(fields)}")
+            kind, width, code = fields[0], fields[1], fields[2]
+            name = "".join(fields[3:])
+            if kind != "wire" or width != "1":
+                raise ReproError(
+                    f"unsupported $var {kind} {width} for {name!r}: "
+                    "only scalar wires are parsed")
+            names_by_code[code] = name
+            index = end + 1
+        elif token == "$enddefinitions":
+            index = tokens.index("$end", index) + 1
+            break
+        elif token in ("$comment", "$date", "$version", "$upscope"):
+            index = tokens.index("$end", index) + 1
+        else:
+            index += 1
+
+    if timescale not in TIMESCALE_PS:
+        raise ReproError(f"unsupported VCD timescale {timescale!r}")
+    unit_ps = TIMESCALE_PS[timescale]
+    group = WaveGroup()
+    for name in names_by_code.values():
+        group.wave(name)
+
+    time_ps = 0.0
+    in_dump = False
+    while index < len(tokens):
+        token = tokens[index]
+        index += 1
+        if token == "$dumpvars":
+            in_dump = True
+            continue
+        if token == "$end":
+            in_dump = False
+            continue
+        if token.startswith("#"):
+            time_ps = int(token[1:]) * unit_ps
+            continue
+        if token.startswith("$"):
+            continue
+        char, code = token[0], token[1:]
+        if char not in "01xX" or code not in names_by_code:
+            raise ReproError(f"unparsable VCD change {token!r}")
+        value: Value = None if char in "xX" else int(char)
+        if in_dump and value is None:
+            continue  # "no value yet" at t=0, not an x-change
+        group.wave(names_by_code[code]).add(time_ps, value)
+    return ParsedVcd(timescale=timescale, module=module, group=group)

@@ -9,8 +9,10 @@ from dataclasses import dataclass, field
 
 #: Version tag of the JSON artifact layout.  Bump when the envelope
 #: changes shape, so perf-trajectory tooling comparing ``BENCH_*.json``
-#: files across commits can tell envelopes apart.
-JSON_SCHEMA = "repro-bench/1"
+#: files across commits can tell envelopes apart.  ``/2`` added the
+#: optional ``metrics`` block (a :class:`repro.obs.MetricsRegistry`
+#: snapshot).
+JSON_SCHEMA = "repro-bench/2"
 
 
 def git_short_sha(anchor: str | None = None) -> str | None:
@@ -81,18 +83,21 @@ def write_csv(path: str, columns: list[str],
 
 
 def write_json(path: str, columns: list[str],
-               rows: list[list[object]]) -> None:
+               rows: list[list[object]],
+               metrics: dict[str, dict] | None = None) -> None:
     """Write a data series as a versioned JSON artifact.
 
     Same ``(columns, rows)`` shape as :func:`write_csv`, so a bench can
     emit both artifacts from one result set; values pass through
     unconverted, preserving numbers for machine consumers.  The payload
-    is an envelope ``{"schema", "git_sha", "columns", "rows"}`` — the
-    schema version and abbreviated commit hash are what make successive
-    ``BENCH_*.json`` artifacts comparable across PRs in the perf
-    trajectory (``git_sha`` is ``null`` outside a git checkout).  Shape
-    mismatches raise instead of silently dropping fields from the row
-    objects.
+    is an envelope ``{"schema", "git_sha", "columns", "rows", "metrics"}``
+    — the schema version and abbreviated commit hash are what make
+    successive ``BENCH_*.json`` artifacts comparable across PRs in the
+    perf trajectory (``git_sha`` is ``null`` outside a git checkout).
+    ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot`-shaped
+    mapping (name -> ``{"type": ..., ...}``); pass ``None`` for an empty
+    block.  Shape mismatches raise instead of silently dropping fields
+    from the row objects.
     """
     if len(set(columns)) != len(columns):
         raise ValueError(f"duplicate column names in {columns}")
@@ -101,12 +106,17 @@ def write_json(path: str, columns: list[str],
             raise ValueError(
                 f"row {index} has {len(row)} cells for "
                 f"{len(columns)} columns")
+    for name, summary in (metrics or {}).items():
+        if not isinstance(summary, dict) or "type" not in summary:
+            raise ValueError(
+                f"metric {name!r} is not a summary dict with a 'type' key")
     _ensure_parent(path)
     payload = {
         "schema": JSON_SCHEMA,
         "git_sha": git_short_sha(os.path.dirname(os.path.abspath(path))),
         "columns": list(columns),
         "rows": [dict(zip(columns, row)) for row in rows],
+        "metrics": dict(metrics or {}),
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)

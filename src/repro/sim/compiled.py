@@ -43,6 +43,7 @@ from repro.netlist.cells import (
     PIN_RESET_N,
 )
 from repro.netlist.core import Instance, Netlist
+from repro.obs.trace import TRACER as _TRACER
 from repro.sim.logic import Value
 from repro.sim.simulator import Capture, SimStats
 from repro.utils.errors import SimulationError
@@ -633,6 +634,9 @@ class CompiledSimulator:
         finally:
             # A sink may raise (X clock/enable); the counter must still
             # reflect every event applied before the failure.
+            if _TRACER.enabled:
+                _TRACER.count("sim.events_popped",
+                              n_events - self.n_events)
             self.n_events = n_events
         if until > now:
             now = until

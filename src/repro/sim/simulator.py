@@ -36,6 +36,7 @@ from repro.netlist.cells import (
     PIN_RESET_N,
 )
 from repro.netlist.core import Instance, Net, Netlist
+from repro.obs.trace import TRACER as _TRACER
 from repro.sim.events import EventQueue
 from repro.sim.logic import Value, is_falling, is_rising
 from repro.utils.errors import SimulationError
@@ -180,6 +181,9 @@ class EventSimulator:
         finally:
             # A sink may raise (X clock/enable); the counter must still
             # reflect every event applied before the failure.
+            if _TRACER.enabled:
+                _TRACER.count("sim.events_popped",
+                              n_events - self.n_events)
             self.n_events = n_events
         self.now = max(self.now, until)
         return SimStats(end_time=self.now, n_events=self.n_events,

@@ -29,6 +29,7 @@ from collections import defaultdict
 
 from repro.netlist.cells import CellKind, PIN_D, PIN_RESET_N
 from repro.netlist.core import Instance, Netlist
+from repro.obs.trace import TRACER as _TRACER
 from repro.sim.logic import Value, bits_to_int, int_to_bits
 from repro.utils.errors import SimulationError
 
@@ -150,9 +151,12 @@ class CycleSimulator:
 
     def run(self, cycles: int,
             inputs_per_cycle: list[dict[str, Value]] | None = None) -> None:
-        for k in range(cycles):
-            inputs = inputs_per_cycle[k] if inputs_per_cycle else None
-            self.step(inputs)
+        with _TRACER.span("sim:cycle", netlist=self.netlist.name,
+                          cycles=cycles) as span:
+            for k in range(cycles):
+                inputs = inputs_per_cycle[k] if inputs_per_cycle else None
+                self.step(inputs)
+            span.count("sim.kernel_passes", cycles)
 
     # ------------------------------------------------------------------
     def value(self, net: str) -> Value:
@@ -280,9 +284,13 @@ class LatchCycleSimulator:
 
     def run(self, cycles: int,
             inputs_per_cycle: list[dict[str, Value]] | None = None) -> None:
-        for k in range(cycles):
-            inputs = inputs_per_cycle[k] if inputs_per_cycle else None
-            self.step(inputs)
+        with _TRACER.span("sim:latch-cycle", netlist=self.netlist.name,
+                          cycles=cycles) as span:
+            for k in range(cycles):
+                inputs = inputs_per_cycle[k] if inputs_per_cycle else None
+                self.step(inputs)
+            # Two evaluation passes per cycle (high + low phase).
+            span.count("sim.kernel_passes", 2 * cycles)
 
     def value(self, net: str) -> Value:
         return self.values[net]

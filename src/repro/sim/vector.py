@@ -48,6 +48,7 @@ from collections.abc import Iterable
 
 from repro.netlist.cells import Cell, CellKind, PIN_D, PIN_RESET_N
 from repro.netlist.core import Instance, Netlist
+from repro.obs.trace import TRACER as _TRACER
 from repro.sim.logic import Value
 from repro.sim.sync import phase_order
 from repro.utils.errors import SimulationError
@@ -244,6 +245,10 @@ def compile_pass(netlist: Netlist, order: list[Instance],
 class _VectorSimulatorBase:
     """Shared packing, stimulus and observation surface of both engines."""
 
+    #: Tracer span name and evaluation passes per cycle of :meth:`run`.
+    trace_name = "sim:vector"
+    _passes_per_cycle = 1
+
     def __init__(self, netlist: Netlist, lanes: int):
         if lanes < 1:
             raise SimulationError(f"lane count must be >= 1, got {lanes}")
@@ -357,8 +362,13 @@ class _VectorSimulatorBase:
     def run(self, cycles: int,
             inputs_per_cycle: list[dict[str, Lanes | Value]] | None = None,
             ) -> None:
-        for k in range(cycles):
-            self.step(inputs_per_cycle[k] if inputs_per_cycle else None)
+        with _TRACER.span(self.trace_name, netlist=self.netlist.name,
+                          cycles=cycles, lanes=self.lanes) as span:
+            for k in range(cycles):
+                self.step(inputs_per_cycle[k] if inputs_per_cycle
+                          else None)
+            span.count("sim.kernel_passes",
+                       self._passes_per_cycle * cycles)
 
     def step(self, inputs=None) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -417,6 +427,9 @@ class VectorLatchCycleSimulator(_VectorSimulatorBase):
     function per phase, compiled over that phase's topological order
     with the transparent latches inlined as buffers.
     """
+
+    trace_name = "sim:vector-latch"
+    _passes_per_cycle = 2
 
     def __init__(self, netlist: Netlist, lanes: int = VECTOR_LANES):
         if netlist.dff_instances():

@@ -67,6 +67,7 @@ from dataclasses import dataclass, field
 
 from repro.netlist.cells import CellKind, PIN_D, PIN_RESET_N
 from repro.netlist.core import Instance, Netlist
+from repro.obs.trace import TRACER as _TRACER
 from repro.sim.logic import Value
 from repro.sim.simulator import Capture
 from repro.sim.vector import Lanes, VECTOR_LANES, compile_pass
@@ -93,7 +94,8 @@ def check_schedule_replayable(netlist: Netlist) -> str | None:
 
     Returns ``None`` when the schedule is provably data-independent, or
     a human-readable reason when it is not (the caller's fallback
-    record).  The proof is structural:
+    record).  Each proof attempt leaves a ``replay:proof`` instant event
+    on the tracer carrying the outcome.  The proof is structural:
 
     * the netlist is a latch fabric (no flip-flops, at least one latch,
       no asynchronously-resettable latch — an async clear can fire
@@ -109,6 +111,14 @@ def check_schedule_replayable(netlist: Netlist) -> str | None:
     * every cell delay is a constant number (matched delays cannot vary
       with data).
     """
+    reason = _proof(netlist)
+    if _TRACER.enabled:
+        _TRACER.instant("replay:proof", netlist=netlist.name,
+                        replayable=reason is None, reason=reason)
+    return reason
+
+
+def _proof(netlist: Netlist) -> str | None:
     latches = netlist.latch_instances()
     if not latches:
         return "no latches: not a de-synchronized latch fabric"
@@ -492,6 +502,13 @@ class ScheduleReplaySimulator:
         if self._replayed:
             raise SimulationError("schedule already replayed")
         self._replayed = True
+        with _TRACER.span("sim:replay", netlist=self.netlist.name,
+                          lanes=self.lanes) as span:
+            self._replay_inner(span)
+
+    def _replay_inner(self, span) -> None:
+        settles = 0
+        segments = 0
         V, K, mask = self.V, self.K, self.mask
         for latch in self._latch_inst.values():
             out = self._slot_of[latch.output_net().name]
@@ -527,8 +544,11 @@ class ScheduleReplaySimulator:
                 group.append(steps[index][2])
                 index += 1
             if dirty:
-                for fn in self._plan_for(transparent):
+                plan = self._plan_for(transparent)
+                for fn in plan:
                     fn(V, K)
+                settles += 1
+                segments += len(plan)
                 dirty = False
             opened: list[HalfKey] = []
             closed: list[HalfKey] = []
@@ -549,7 +569,10 @@ class ScheduleReplaySimulator:
                     key for key in opened
                     if key in self._halves).difference(closed)
                 dirty = True
+        span.count("replay.settles", settles)
+        span.count("replay.segments_executed", segments)
         self._self_check()
+        span.set(self_check="ok")
 
     def _self_check(self) -> None:
         """Assert replay lane 0 == the recording engine, capture-for-

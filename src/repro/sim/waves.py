@@ -6,6 +6,7 @@ pulses of a de-synchronized pipeline) as a text timing diagram.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.sim.logic import Value
@@ -24,13 +25,19 @@ class Waveform:
         self.changes.append((time, value))
 
     def at(self, time: float) -> Value:
-        """Value at ``time`` (None before the first change)."""
-        value: Value = None
-        for change_time, change_value in self.changes:
-            if change_time > time:
-                break
-            value = change_value
-        return value
+        """Value at ``time`` (None before the first change).
+
+        Binary search on the change times — this is called once per
+        sample by :meth:`WaveGroup.render` and per probe query, so a
+        linear scan over long histories would dominate.  Ties (changes
+        exactly at ``time``) resolve to the last change at that time,
+        matching the scan semantics this replaced.
+        """
+        index = bisect_right(self.changes, time,
+                             key=lambda change: change[0])
+        if not index:
+            return None
+        return self.changes[index - 1][1]
 
     @property
     def end_time(self) -> float:

@@ -35,11 +35,13 @@ tested.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.netlist.core import Netlist
-from repro.sim.backends import make_simulator
+from repro.obs.trace import TRACER
+from repro.sim.backends import EVENT_BACKENDS, make_simulator
 from repro.sim.logic import Value
 from repro.sim.sync import CycleSimulator
 from repro.sim.vector import VECTOR_LANES, VectorCycleSimulator, pack_stimuli
@@ -60,6 +62,14 @@ DEFAULT_BATCH_BACKENDS = ("cycle",)
 #: double the synchronous period guarantees both the input wave and the
 #: post-edge register wave settle within their half-cycles.
 _PERIOD_FACTOR = 2.0
+
+#: Environment variable naming a directory for mismatch artifacts.
+#: When set (or ``dump_dir`` is passed explicitly), a failing
+#: differential run re-simulates the event backends with full net
+#: recording and drops one GTKWave-openable VCD per backend — plus the
+#: active trace, if the tracer is armed — so a CI disagreement arrives
+#: with its waveforms attached.
+DUMP_ENV = "REPRO_DUMP_DIR"
 
 
 @dataclass
@@ -107,6 +117,7 @@ class DifferentialReport:
     backends: tuple[str, ...]
     mismatches: list[Mismatch] = field(default_factory=list)
     minimized_cycles: int | None = None
+    dumps: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -122,6 +133,7 @@ class DifferentialReport:
             lines.append(f"  minimal failing stimulus prefix: "
                          f"{self.minimized_cycles} cycle(s)")
         lines.extend(f"  {m.describe()}" for m in self.mismatches[:8])
+        lines.extend(f"  dumped: {path}" for path in self.dumps)
         return "\n".join(lines)
 
     def assert_ok(self) -> None:
@@ -151,7 +163,8 @@ def _run_cycle(netlist: Netlist,
 
 def drive_clocked(netlist: Netlist, backend: str,
                   stimulus: list[dict[str, Value]],
-                  period: float | None = None):
+                  period: float | None = None,
+                  record_all: bool = False):
     """Run one clocked stimulus on an event engine; returns the sim.
 
     This is *the* protocol that makes the event engines cycle-comparable
@@ -163,6 +176,8 @@ def drive_clocked(netlist: Netlist, backend: str,
     ``_PERIOD_FACTOR`` times the STA synchronous period so every
     half-cycle fully settles.  The throughput bench uses the same helper,
     so what it measures is exactly what the harness verifies.
+    ``record_all`` turns on full net-history recording (for VCD export
+    of a failing run).
     """
     if netlist.clock is None:
         raise DifferentialError(
@@ -171,7 +186,7 @@ def drive_clocked(netlist: Netlist, backend: str,
     cycles = len(stimulus)
     if period is None:
         period = _PERIOD_FACTOR * analyze(netlist).sync_period()
-    sim = make_simulator(netlist, backend,
+    sim = make_simulator(netlist, backend, record_all=record_all,
                          initial_inputs=stimulus[0] if stimulus else {})
     sim.add_clock(netlist.clock, period, until=cycles * period)
     for k in range(1, cycles):
@@ -350,6 +365,47 @@ def _shrink(value: object, other: object) -> object:
 
 
 # ----------------------------------------------------------------------
+# mismatch artifacts
+# ----------------------------------------------------------------------
+
+def _dump_trace(dump_dir: str, tag: str) -> list[str]:
+    """Snapshot the armed tracer next to the waveform dumps (if armed)."""
+    if not TRACER.enabled:
+        return []
+    path = os.path.join(dump_dir, f"{tag}_trace.json")
+    TRACER.write(path)
+    return [path]
+
+
+def dump_mismatch(netlist: Netlist, stimulus: list[dict[str, Value]],
+                  backends: Iterable[str], dump_dir: str,
+                  tag: str | None = None) -> list[str]:
+    """Dump per-backend VCDs (plus the trace) for a disagreeing stimulus.
+
+    Re-runs each *event* backend in ``backends`` on ``stimulus`` with
+    full net recording — the comparison runs record only register
+    observables, so the waveforms must be regenerated — and writes one
+    VCD per backend under ``dump_dir``.  Deterministic simulation makes
+    the re-run exactly the disagreeing run.  Returns the written paths.
+    """
+    from repro.obs.vcd import write_vcd
+    os.makedirs(dump_dir, exist_ok=True)
+    tag = tag or netlist.name
+    paths: list[str] = []
+    for backend in backends:
+        if backend not in EVENT_BACKENDS:
+            continue  # cycle engines keep no event-level history
+        sim = drive_clocked(netlist, backend, stimulus, record_all=True)
+        path = os.path.join(dump_dir, f"{tag}_{backend}.vcd")
+        write_vcd(path, sim.history, module=netlist.name,
+                  comment=(f"{backend} engine re-run of mismatching "
+                           f"stimulus, {len(stimulus)} cycles"))
+        paths.append(path)
+    paths.extend(_dump_trace(dump_dir, tag))
+    return paths
+
+
+# ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
 
@@ -380,7 +436,8 @@ def run_differential(netlist: Netlist, cycles: int = 16,
                      backends: Iterable[str] = DEFAULT_BACKENDS,
                      runners: Mapping[str, Callable] | None = None,
                      stimulus: list[dict[str, Value]] | None = None,
-                     minimize: bool = True) -> DifferentialReport:
+                     minimize: bool = True,
+                     dump_dir: str | None = None) -> DifferentialReport:
     """Differentially test ``backends`` on ``netlist``.
 
     ``stimulus`` defaults to :func:`random_stimulus` for ``(cycles,
@@ -388,7 +445,9 @@ def run_differential(netlist: Netlist, cycles: int = 16,
     plug in experimental backends.  When the backends disagree and
     ``minimize`` is set, the stimulus is re-run on shrinking prefixes
     to find the shortest failing one (``minimized_cycles`` in the
-    report).
+    report).  On disagreement, per-backend VCDs (and the active trace)
+    are dumped into ``dump_dir`` — defaulting to :data:`DUMP_ENV` from
+    the environment; no dumps when both are unset.
     """
     backends = tuple(backends)
     if len(backends) < 2:
@@ -424,9 +483,16 @@ def run_differential(netlist: Netlist, cycles: int = 16,
             return known[n]
 
         minimized = minimize_prefix(diverges, cycles)
+    dumps: list[str] = []
+    if mismatches:
+        if dump_dir is None:
+            dump_dir = os.environ.get(DUMP_ENV)
+        if dump_dir:
+            dumps = dump_mismatch(netlist, stimulus, backends, dump_dir,
+                                  tag=f"{netlist.name}_seed{seed}")
     return DifferentialReport(
         netlist=netlist.name, cycles=cycles, seed=seed, backends=backends,
-        mismatches=mismatches, minimized_cycles=minimized)
+        mismatches=mismatches, minimized_cycles=minimized, dumps=dumps)
 
 
 def run_differential_batch(netlist: Netlist, seeds: Iterable[int],
@@ -490,9 +556,33 @@ def run_differential_batch(netlist: Netlist, seeds: Iterable[int],
     return reports
 
 
+def _dump_async_mismatch(result, stimulus: list[dict[str, Value]],
+                         cycles: int, backend: str, dump_dir: str,
+                         tag: str) -> list[str]:
+    """Dump the fabric's scalar-side VCD (plus the trace) for one seed.
+
+    The replay engine's lane-0 run *is* the scalar recording run, so one
+    fully-recorded scalar re-simulation reproduces the waveforms of both
+    sides of the disagreement.
+    """
+    from repro.equiv.flow_equivalence import _masters, _paced_run
+    from repro.obs.vcd import write_vcd
+    os.makedirs(dump_dir, exist_ok=True)
+    initial = dict(stimulus[0]) if stimulus else {}
+    sim = make_simulator(result.desync_netlist, backend, record_all=True,
+                         initial_inputs=initial)
+    _paced_run(sim, result, cycles, stimulus, _masters(result))
+    path = os.path.join(dump_dir, f"{tag}_{backend}.vcd")
+    write_vcd(path, sim.history, module=result.desync_netlist.name,
+              comment=(f"{backend} engine re-run of mismatching desync "
+                       f"stimulus, {cycles} cycles"))
+    return [path] + _dump_trace(dump_dir, tag)
+
+
 def run_differential_async(result, seeds: Iterable[int], cycles: int = 10,
                            backend: str = "event",
                            lanes: int = VECTOR_LANES,
+                           dump_dir: str | None = None,
                            ) -> dict[int, DifferentialReport]:
     """Differentially test the schedule-replay engine on a desync fabric.
 
@@ -507,8 +597,10 @@ def run_differential_async(result, seeds: Iterable[int], cycles: int = 10,
     fabric that fails the data-independence proof makes the batch side
     fall back to the scalar engine — the comparison then degenerates to
     scalar-vs-scalar, so the reports stay meaningful (and carry the
-    fallback in their backend tuple).  Returns a report per seed, in
-    ``seeds`` order.
+    fallback in their backend tuple).  Disagreeing seeds dump a
+    fully-recorded fabric VCD (and the active trace) into ``dump_dir``
+    (default: :data:`DUMP_ENV` from the environment).  Returns a report
+    per seed, in ``seeds`` order.
     """
     from repro.equiv.flow_equivalence import (
         desync_streams,
@@ -544,9 +636,17 @@ def run_differential_async(result, seeds: Iterable[int], cycles: int = 10,
                 kind="captures", reference=backend, backend=engine,
                 register=register, cycle=cycle,
                 expected=expected, actual=actual))
+        dumps: list[str] = []
+        if mismatches:
+            directory = dump_dir if dump_dir is not None \
+                else os.environ.get(DUMP_ENV)
+            if directory:
+                dumps = _dump_async_mismatch(
+                    result, stimulus, cycles, backend, directory,
+                    tag=f"{result.desync_netlist.name}_seed{seed}")
         reports[seed] = DifferentialReport(
             netlist=result.desync_netlist.name, cycles=cycles, seed=seed,
-            backends=(backend, engine), mismatches=mismatches)
+            backends=(backend, engine), mismatches=mismatches, dumps=dumps)
     return reports
 
 

@@ -342,10 +342,19 @@ class TestSweepDriver:
                             options=DesyncOptions(validate_model=False),
                             check_equivalence=False),
         ]
-        columns, rows = sweep_pipelines(configs=["pipe4x1", "lfsr8"],
-                                        variants=variants, seeds=(0,),
-                                        cycles=8)
+        columns, rows, summary = sweep_pipelines(configs=["pipe4x1", "lfsr8"],
+                                                 variants=variants, seeds=(0,),
+                                                 cycles=8)
         assert len(rows) == 6
+        assert set(summary) == {"cells", "statuses", "desync_engines",
+                                "fallback_reasons"}
+        assert summary["cells"] == 6
+        assert sum(summary["statuses"].values()) == 6
+        assert summary["statuses"]["ok"] >= 1
+        # Status aggregation folds parameterized suffixes ("invalid: ...")
+        # into their family.
+        assert "invalid" in summary["statuses"]
+        assert summary["desync_engines"].get("replay", 0) >= 1
         cells = [dict(zip(columns, row)) for row in rows]
         by = {(c["config"], c["variant"]): c for c in cells}
         assert by[("pipe4x1", "serial")]["status"] == "ok"

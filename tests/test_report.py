@@ -14,11 +14,13 @@ class TestWriteJson:
         write_json(path, ["name", "value"], [["a", 1], ["b", 2.5]])
         with open(path) as handle:
             payload = json.load(handle)
-        assert set(payload) == {"schema", "git_sha", "columns", "rows"}
+        assert set(payload) == {"schema", "git_sha", "columns", "rows",
+                                "metrics"}
         assert payload["schema"] == JSON_SCHEMA
         assert payload["columns"] == ["name", "value"]
         assert payload["rows"] == [{"name": "a", "value": 1},
                                    {"name": "b", "value": 2.5}]
+        assert payload["metrics"] == {}
         # The recorded sha must match what the artifact's own directory
         # resolves to — None outside a repository (tarball installs),
         # the checkout's sha if tmp_path happens to land inside one.
@@ -31,6 +33,18 @@ class TestWriteJson:
             pytest.skip("git unavailable or not a checkout")
         assert sha == sha.strip() and len(sha) >= 4
         int(sha, 16)  # abbreviated hashes are hex
+
+    def test_metrics_block_round_trips(self, tmp_path):
+        path = str(tmp_path / "BENCH_m.json")
+        metrics = {"sweep.replay_fallbacks": {"type": "counter", "value": 2}}
+        write_json(path, ["a"], [[1]], metrics=metrics)
+        with open(path) as handle:
+            assert json.load(handle)["metrics"] == metrics
+
+    def test_malformed_metrics_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="summary dict"):
+            write_json(str(tmp_path / "x.json"), ["a"], [[1]],
+                       metrics={"bad": 3})
 
     def test_duplicate_columns_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="duplicate column"):
