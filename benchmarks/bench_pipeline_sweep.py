@@ -19,7 +19,12 @@ and ``benchmarks/out/BENCH_pipeline.json`` (versioned series for the
 perf trajectory, alongside BENCH_corpus / BENCH_sim / BENCH_vector).
 
 Grid size: set ``REPRO_PIPELINE_GRID=smoke`` for the CI smoke subset
-(small configs only); the default sweeps the whole registry.
+(small configs only); the default sweeps the whole registry — core plus
+the 10x scale tier (fir16/fir32, mult16, deep/wide pipelines, seeded
+random netlists, the DLX datapath via the Verilog frontend).  Set
+``REPRO_JOBS=N`` to shard configs across a process pool; the merged
+rows and summary equal the single-process run's modulo the per-row
+wall-time fields.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_pipeline_sweep.py -q
 """
@@ -31,7 +36,7 @@ import os
 import pytest
 
 from benchmarks.conftest import out_path, write_out
-from repro.corpus import generate
+from repro.corpus import generate, names
 from repro.desync import desynchronize, sweep_pipelines
 from repro.desync.pipeline import SWEEP_SEEDS
 from repro.obs import METRICS
@@ -43,19 +48,6 @@ from repro.report import TextTable, write_json
 #: structurally invalid there — the sweep must report, not fail), and a
 #: fork/join.
 SMOKE_CONFIGS = ["pipe4x1", "pipe4x4", "counter6", "diamond2x4"]
-
-#: Pre-existing fabric issue surfaced by this sweep (not introduced by
-#: the pipeline refactor — the produced netlists are byte-identical to
-#: the monolithic flow's): fir8's accumulator joins eight taps plus its
-#: own feedback, and the serial-mode fabric diverges on that wide join
-#: (fir5's five-way join is fine).  Coarser clustering strategies merge
-#: the join away, which is why greedy-cap/single pass on the same
-#: design.  Tracked in ROADMAP.md; the sweep must keep *reporting* the
-#: failure rather than hiding the rows.
-KNOWN_DIVERGENT = {
-    ("fir8", "scc-serial"),
-    ("fir8", "per-register-serial"),
-}
 
 
 def _grid() -> list[str] | None:
@@ -108,7 +100,7 @@ def test_bench_pipeline_sweep(benchmark):
 
     by = [dict(zip(columns, row)) for row in rows]
     n_configs = len({cell["config"] for cell in by})
-    assert n_configs == (len(configs) if configs else 13)
+    assert n_configs == len(configs if configs else names("all"))
 
     # The acceptance floor: at least three clustering strategies and at
     # least one partial-desync configuration verified equivalent (and
@@ -117,11 +109,14 @@ def test_bench_pipeline_sweep(benchmark):
     ok_strategies = {cell["strategy"] for cell in ok}
     assert len(ok_strategies) >= 3, ok_strategies
     assert any(cell["sync_island"] for cell in ok)
-    # No verified variant may fail beyond the known-divergent set
-    # ("failed" = divergence, "failed: ..." = stall/harness error).
+    # No verified variant may fail, anywhere in the grid ("failed" =
+    # divergence, "failed: ..." = stall/harness error).  The wide-join
+    # serial divergences this floor used to carve out are fixed (the
+    # fired-latch retirement and the environment source domain, see
+    # repro.desync.network); a new failure is a regression, full stop.
     failed = {(cell["config"], cell["variant"]) for cell in by
               if cell["status"].startswith("failed")}
-    assert failed <= KNOWN_DIVERGENT, failed - KNOWN_DIVERGENT
+    assert not failed, failed
     # Every verified row ran the full default seed grid on the batched
     # desync engine; replay fallbacks are visible, never silent.
     verified = [cell for cell in by

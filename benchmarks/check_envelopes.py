@@ -11,7 +11,14 @@ dict tagged with a known ``type``.  CI runs this after each bench job so
 a bench that hand-rolls its JSON — or an envelope drift — fails the
 build instead of silently producing an incomparable artifact.
 
+``--compare A B`` checks a different invariant: two envelopes from the
+same sweep — one sharded over a process pool (``REPRO_JOBS=N``), one
+single-process — must describe identical results modulo the per-row
+wall-time fields.  CI runs the pipeline smoke sweep both ways and
+compares, so a nondeterministic merge fails the build.
+
 Run:  PYTHONPATH=src python benchmarks/check_envelopes.py [out_dir]
+      PYTHONPATH=src python benchmarks/check_envelopes.py --compare A B
 """
 
 from __future__ import annotations
@@ -85,9 +92,60 @@ def check_envelopes(out_dir: str) -> list[str]:
     return [os.path.basename(path) for path in paths]
 
 
+#: Per-row wall-time fields ``--compare`` ignores: they are the only
+#: columns a sharded run is allowed to differ on.
+TIMING_FIELDS = ("build_ms", "verify_ms")
+
+
+def compare_envelopes(path_a: str, path_b: str,
+                      ignore: tuple[str, ...] = TIMING_FIELDS) -> int:
+    """Assert the two envelopes carry identical results modulo the
+    ``ignore`` row fields; returns the number of rows compared.  Raises
+    ``SystemExit`` with the first mismatching row on failure.  Only
+    columns and rows are compared — ``git_sha`` and the wall-time
+    histograms in the metrics block legitimately differ between runs."""
+    payloads = []
+    for path in (path_a, path_b):
+        with open(path) as handle:
+            try:
+                payloads.append(json.load(handle))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}: not valid JSON: {exc}") from exc
+    first, second = payloads
+    for key in ("schema", "columns"):
+        if first[key] != second[key]:
+            raise SystemExit(
+                f"--compare: {key} differ: {first[key]!r} != "
+                f"{second[key]!r}")
+
+    def strip(row: dict) -> dict:
+        return {k: v for k, v in row.items() if k not in ignore}
+
+    rows_a = [strip(row) for row in first["rows"]]
+    rows_b = [strip(row) for row in second["rows"]]
+    if len(rows_a) != len(rows_b):
+        raise SystemExit(
+            f"--compare: {len(rows_a)} rows in {path_a} vs "
+            f"{len(rows_b)} in {path_b}")
+    for index, (row_a, row_b) in enumerate(zip(rows_a, rows_b)):
+        if row_a != row_b:
+            raise SystemExit(
+                f"--compare: row {index} differs (timing fields "
+                f"excluded):\n  {path_a}: {row_a}\n  {path_b}: {row_b}")
+    return len(rows_a)
+
+
 if __name__ == "__main__":
-    directory = sys.argv[1] if len(sys.argv) > 1 else \
-        os.path.join(os.path.dirname(__file__), "out")
-    checked = check_envelopes(directory)
-    print(f"envelope ok for {len(checked)} artifact(s): "
-          + ", ".join(checked))
+    if len(sys.argv) > 1 and sys.argv[1] == "--compare":
+        if len(sys.argv) != 4:
+            raise SystemExit(
+                "usage: check_envelopes.py --compare <a.json> <b.json>")
+        compared = compare_envelopes(sys.argv[2], sys.argv[3])
+        print(f"envelopes match on {compared} row(s) "
+              f"(modulo {', '.join(TIMING_FIELDS)})")
+    else:
+        directory = sys.argv[1] if len(sys.argv) > 1 else \
+            os.path.join(os.path.dirname(__file__), "out")
+        checked = check_envelopes(directory)
+        print(f"envelope ok for {len(checked)} artifact(s): "
+              + ", ".join(checked))

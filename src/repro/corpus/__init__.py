@@ -12,14 +12,17 @@ from repro.corpus.generators import (
     array_multiplier,
     counter,
     crc,
+    dlx_datapath,
     fir_filter,
     fork_join,
     lfsr,
     linear_pipeline,
+    random_netlist,
 )
 from repro.corpus.registry import (
     GENERATORS,
     REGISTRY,
+    TIERS,
     CorpusSpec,
     generate,
     get,
@@ -32,10 +35,12 @@ from repro.corpus.registry import (
 __all__ = [
     "GENERATORS",
     "REGISTRY",
+    "TIERS",
     "CorpusSpec",
     "array_multiplier",
     "counter",
     "crc",
+    "dlx_datapath",
     "fir_filter",
     "fork_join",
     "generate",
@@ -44,6 +49,7 @@ __all__ = [
     "lfsr",
     "linear_pipeline",
     "names",
+    "random_netlist",
     "register",
     "spec",
 ]

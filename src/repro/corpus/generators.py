@@ -16,13 +16,19 @@ family spans the structural shapes the flow's performance depends on:
 * :func:`array_multiplier` — two input banks feeding one product bank
   through deep combinational logic (matched-delay stress);
 * :func:`fork_join` — unbalanced reconvergent branches (the diamond
-  every dataflow-style workload reduces to).
+  every dataflow-style workload reduces to);
+* :func:`random_netlist` — seeded random register networks (arbitrary
+  bank graphs: the shapes nobody hand-picks);
+* :func:`dlx_datapath` — the DLX core round-tripped through the
+  structural-Verilog frontend (the one non-synthetic registry citizen).
 
 The named configurations the benchmarks sweep live in
 :mod:`repro.corpus.registry`.
 """
 
 from __future__ import annotations
+
+import random
 
 from repro.netlist.core import Net, Netlist
 
@@ -296,5 +302,81 @@ def fork_join(depth_a: int = 2, depth_b: int = 4,
     joined = netlist.add_gate("XOR2", [left, right], name="join")
     netlist.add("DFF", name="sink/b", D=joined, CK=clk, Q="y")
     netlist.add_output("y")
+    netlist.validate()
+    return netlist
+
+
+#: Two-input cells :func:`random_netlist` draws from (all the generic
+#: library's symmetric binary gates, so the logic stays input-order
+#: agnostic in spirit while exercising every truth table).
+_RANDOM_CELLS = ("AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2")
+
+
+def random_netlist(registers: int = 12, inputs: int = 2,
+                   gates: int | None = None, seed: int = 0,
+                   name: str = "rnd") -> Netlist:
+    """Seeded random register network: arbitrary bank graphs.
+
+    ``registers`` single-bit banks (``r<i>/b``) whose D inputs are
+    random two-input gate cones over primary inputs and register
+    outputs.  Gate inputs only reference *earlier* gate outputs, so the
+    combinational logic is acyclic by construction while the
+    register-to-register graph (self-loops, cycles, joins, free-running
+    sources) is whatever the seed draws — the shapes the hand-written
+    families never produce.  Identical parameters always yield an
+    identical netlist: the generator is a pure function of its
+    arguments.
+    """
+    _require(registers >= 2, "random netlist needs >= 2 registers")
+    _require(inputs >= 1, "random netlist needs >= 1 input")
+    n_gates = gates if gates is not None else 3 * registers
+    _require(n_gates >= max(registers, inputs),
+             "random netlist needs >= max(registers, inputs) gates "
+             "(every register and input must connect)")
+    rng = random.Random(seed)
+    netlist = Netlist(name)
+    clk = netlist.add_input("clk", clock=True)
+    ports = [netlist.add_input(f"in{i}") for i in range(inputs)]
+    state = [netlist.net(f"q{i}") for i in range(registers)]
+    pool: list[Net] = ports + state
+    cones: list[Net] = []
+    for g in range(n_gates):
+        # The first gates pin down connectivity: every primary input is
+        # consumed at least once; after that, sources are free draws.
+        first = ports[g] if g < len(ports) else rng.choice(pool)
+        second = rng.choice(pool)
+        out = netlist.add_gate(rng.choice(_RANDOM_CELLS), [first, second],
+                               name=f"g{g}")
+        pool.append(out)
+        cones.append(out)
+    for i in range(registers):
+        netlist.add("DFF", name=f"r{i}/b", D=rng.choice(cones), CK=clk,
+                    Q=state[i])
+    netlist.add_output(state[-1].name)
+    netlist.validate()
+    return netlist
+
+
+def dlx_datapath(width: int = 16, n_registers: int = 8,
+                 name: str = "dlx") -> Netlist:
+    """The DLX core as a corpus citizen, via the Verilog frontend.
+
+    Builds the gate-level DLX datapath (:func:`repro.dlx.cpu.build_dlx`),
+    serializes it with the structural-Verilog writer and re-reads it
+    with the reader — so the registry entry exercises the same path an
+    external design would take into the flow, and the returned netlist
+    carries the reader's provenance (annotations, clock inference)
+    rather than the RTL builder's object graph.
+    """
+    _require(width >= 16, "dlx datapath width must be >= 16")
+    _require(n_registers >= 4 and n_registers & (n_registers - 1) == 0,
+             "dlx register count must be a power of two >= 4")
+    from repro.dlx.cpu import DlxConfig, build_dlx
+    from repro.verilog.reader import read_verilog
+    from repro.verilog.writer import netlist_to_verilog
+
+    core = build_dlx(DlxConfig(width=width, n_registers=n_registers,
+                               name=name))
+    netlist = read_verilog(netlist_to_verilog(core.netlist))
     netlist.validate()
     return netlist

@@ -27,7 +27,14 @@ GENERATORS = {
     "fir_filter": generators.fir_filter,
     "array_multiplier": generators.array_multiplier,
     "fork_join": generators.fork_join,
+    "random_netlist": generators.random_netlist,
+    "dlx_datapath": generators.dlx_datapath,
 }
+
+#: Registry tiers.  ``core`` is the small population every parametrized
+#: test runs per-config (kept at test-suite scale); ``scale`` is the
+#: sweep-only population the sharded benchmarks chew through.
+TIERS = ("core", "scale")
 
 
 @dataclass(frozen=True)
@@ -39,12 +46,14 @@ class CorpusSpec:
         generator: key into :data:`GENERATORS`.
         params: keyword arguments for the generator (``name`` excluded).
         description: one-line human summary for reports.
+        tier: population tier, one of :data:`TIERS`.
     """
 
     name: str
     generator: str
     params: tuple[tuple[str, object], ...] = ()
     description: str = ""
+    tier: str = "core"
 
     @property
     def kwargs(self) -> dict[str, object]:
@@ -52,14 +61,17 @@ class CorpusSpec:
 
 
 def spec(name: str, generator: str, description: str = "",
-         **params: object) -> CorpusSpec:
+         tier: str = "core", **params: object) -> CorpusSpec:
     """Convenience constructor: ``spec("lfsr8", "lfsr", bits=8)``."""
     if generator not in GENERATORS:
         raise CorpusError(f"unknown generator {generator!r} "
                           f"(have: {', '.join(sorted(GENERATORS))})")
+    if tier not in TIERS:
+        raise CorpusError(f"unknown corpus tier {tier!r} "
+                          f"(have: {', '.join(TIERS)})")
     return CorpusSpec(name=name, generator=generator,
                       params=tuple(sorted(params.items())),
-                      description=description)
+                      description=description, tier=tier)
 
 
 REGISTRY: dict[str, CorpusSpec] = {}
@@ -71,13 +83,26 @@ def register(entry: CorpusSpec) -> CorpusSpec:
         raise CorpusError(f"corpus name {entry.name!r} already registered")
     if entry.generator not in GENERATORS:
         raise CorpusError(f"unknown generator {entry.generator!r}")
+    if entry.tier not in TIERS:
+        raise CorpusError(f"unknown corpus tier {entry.tier!r}")
     REGISTRY[entry.name] = entry
     return entry
 
 
-def names() -> list[str]:
-    """Registered configuration names, sorted."""
-    return sorted(REGISTRY)
+def names(tier: str | None = "core") -> list[str]:
+    """Registered configuration names, sorted.
+
+    ``tier`` selects the population: ``"core"`` (the default — what the
+    per-config parametrized tests iterate), ``"scale"`` (the sweep-only
+    population), or ``"all"``/``None`` for everything.
+    """
+    if tier is None or tier == "all":
+        return sorted(REGISTRY)
+    if tier not in TIERS:
+        raise CorpusError(f"unknown corpus tier {tier!r} "
+                          f"(have: all, {', '.join(TIERS)})")
+    return sorted(name for name, entry in REGISTRY.items()
+                  if entry.tier == tier)
 
 
 def get(name: str) -> CorpusSpec:
@@ -109,9 +134,11 @@ def generate(target: CorpusSpec | str) -> Netlist:
             f"corpus configuration {entry.name!r} is invalid: {exc}") from exc
 
 
-def iter_corpus() -> Iterator[tuple[CorpusSpec, Netlist]]:
-    """Generate every registered configuration, in name order."""
-    for name in names():
+def iter_corpus(tier: str | None = "core",
+                ) -> Iterator[tuple[CorpusSpec, Netlist]]:
+    """Generate every registered configuration of ``tier``, in name
+    order (``"all"``/``None`` for the whole registry)."""
+    for name in names(tier):
         entry = REGISTRY[name]
         yield entry, generate(entry)
 
@@ -141,5 +168,72 @@ for _entry in (
     spec("diamond2x4", "fork_join", "fork/join diamond, 2- vs 4-deep",
          depth_a=2, depth_b=4),
 ):
+    register(_entry)
+del _entry
+
+
+# ----------------------------------------------------------------------
+# Scale tier: the sweep-only population (~8x the core tier).  Size
+# sweeps along every family axis — the wide-join firs that motivated the
+# serial retirement fix, deep/wide pipelines, big multipliers, random
+# bank graphs, and the DLX datapath through the Verilog frontend.
+# ----------------------------------------------------------------------
+def _scale_population() -> Iterator[CorpusSpec]:
+    for depth in (6, 8, 12, 16, 20, 24, 28, 32):
+        for width in (1, 2, 4, 8):
+            if (depth, width) == (8, 2):
+                continue  # pipe8x2 is a core config
+            yield spec(f"pipe{depth}x{width}", "linear_pipeline",
+                       f"{depth}-stage, {width}-bit pipeline", tier="scale",
+                       depth=depth, width=width,
+                       logic_depth=1 if width == 1 else 2)
+    for taps in (10, 12, 16, 20, 24, 28, 32):
+        yield spec(f"fir{taps}", "fir_filter",
+                   f"{taps}-tap GF(2) correlator ({taps + 1}-way join)",
+                   tier="scale", taps=taps)
+    for taps in (16, 24, 32):
+        yield spec(f"fir{taps}s", "fir_filter",
+                   f"{taps}-tap sparse correlator (alternating taps)",
+                   tier="scale", taps=taps,
+                   coeffs=int("55" * (taps // 8), 16))
+    for width in (6, 8, 12, 16):
+        yield spec(f"mult{width}", "array_multiplier",
+                   f"{width}x{width} array multiplier", tier="scale",
+                   width=width)
+    for bits in (8, 10, 12, 16, 20, 24, 32):
+        yield spec(f"counter{bits}", "counter", f"{bits}-bit counter",
+                   tier="scale", bits=bits)
+    for bits in (12, 20, 24, 32, 48, 64):
+        yield spec(f"lfsr{bits}", "lfsr", f"{bits}-bit XNOR LFSR",
+                   tier="scale", bits=bits)
+    for width, poly in ((12, 0x80F), (16, 0x1021), (24, 0x864CFB),
+                        (32, 0x04C11DB7)):
+        yield spec(f"crc{width}", "crc", f"CRC-{width} serial register",
+                   tier="scale", width=width, poly=poly)
+    for depth_a, depth_b in ((1, 8), (3, 5), (4, 8), (6, 6), (8, 12),
+                             (2, 16)):
+        yield spec(f"diamond{depth_a}x{depth_b}", "fork_join",
+                   f"fork/join diamond, {depth_a}- vs {depth_b}-deep",
+                   tier="scale", depth_a=depth_a, depth_b=depth_b)
+    for registers, n_inputs in ((8, 2), (16, 3), (32, 4)):
+        for seed in range(12):
+            yield spec(f"rnd{registers}s{seed}", "random_netlist",
+                       f"random {registers}-register bank graph, "
+                       f"seed {seed}", tier="scale",
+                       registers=registers, inputs=n_inputs, seed=seed)
+    for seed in range(4):
+        yield spec(f"rnd16d{seed}", "random_netlist",
+                   f"dense random 16-register bank graph, seed {seed}",
+                   tier="scale", registers=16, inputs=3, gates=80,
+                   seed=seed)
+    yield spec("dlx", "dlx_datapath",
+               "16-bit DLX datapath via the Verilog frontend",
+               tier="scale")
+    yield spec("dlx16x16", "dlx_datapath",
+               "16-bit, 16-register DLX datapath via the Verilog frontend",
+               tier="scale", n_registers=16)
+
+
+for _entry in _scale_population():
     register(_entry)
 del _entry

@@ -14,11 +14,38 @@ software-verified flow can guarantee):
   **request token latch** (REQC) that holds "new data arrived" until the
   consumer's pulse retires it — making multi-predecessor joins
   insensitive to pulse overlap;
-* every cluster edge gets an **acknowledge token cell** (ACKC) that
-  re-arms the producer only after the consumer's same-index capture —
-  the strict no-overwrite ordering, giving a static hold margin of the
-  full acknowledge path (~500 ps) instead of a relative-timing
-  assumption;
+* every inter-cluster edge gets an **acknowledge token cell** (ACKC)
+  that re-arms the producer only after the consumer's same-index
+  capture — the strict no-overwrite ordering, giving a static hold
+  margin of the full acknowledge path instead of a relative-timing
+  assumption.  In SERIAL mode the cell's set condition is **gated on
+  the request token's retirement and a per-edge launch latch**
+  (``S = tok:p>s OR fired:p>s``): the cell arms when the consumer's
+  pulse has retired the producer's request token and the producer has
+  not launched since.  ``fired`` is a REQC set by the producer's own
+  pulse and cleared only when the edge's request token re-sets, so it
+  holds the set gate closed through every window a level signal would
+  leak: retirement is a once-per-capture event, and between a launch
+  and its request's maturation (producer pulse done, token still
+  retired) the latch keeps the acknowledge down.  Two earlier SERIAL
+  fabrics lost exactly these races.  Arming on the latch levels alone
+  (``S = NOT lt:s``) re-arms off the *tail* of a wide-join consumer
+  pulse once the pulse (which widens with C-tree depth) outlives the
+  producer's fire/clear/idle round-trip — first seen on fir8's
+  nine-way accumulator join.  Gating on the consumer's pulse level
+  instead (``S = tok OR NOT lt:s``) closes that hole but opens a
+  skew window: the set gate's closing edge trails the pulse's fall by
+  an INV + OR2 delay, so a producer whose own pulse ends inside that
+  lag — the last leftover leaf of an unbalanced join C-tree, which
+  launches earliest after reset — re-arms a second time off the same
+  capture (first seen on fir10's ten-way join, where the tenth token
+  enters the C-tree at the root).  The launch latch closes both by
+  construction: every blocking condition is held by a state element
+  across the vulnerable windows, independent of pulse-width and
+  gate-delay arithmetic.  OVERLAP mode keeps the level-sensitive set
+  and starts the cell marked (the model's initial ``af`` token, one
+  launch of slack), with pacing tokens plus hold verification
+  guarding its races;
 * each controller is a C-element tree over its request tokens, rooted in
   a reset-dominant asymmetric C-element (AC2) so acknowledge tokens gate
   only the rising edge (falls drain as requests return to zero);
@@ -58,6 +85,15 @@ from repro.utils.naming import (
 
 # Buffers in a source cluster's free-running self-loop.
 SELF_LOOP_BUFFERS = 2
+
+#: Name of the virtual environment domain the SERIAL fabric builds for
+#: primary data inputs (angle brackets keep it disjoint from register
+#: names).  The synchronous environment is just another producer in the
+#: paper's model; without its tokens, two input-fed domains that share
+#: no fabric edge can drift arbitrarily far apart, and no single input
+#: wire can then hold the right vector for both (first seen on the
+#: random-netlist corpus, where inputs fan out to several domains).
+ENV_BANK = "<env>"
 
 # Default extra pacing slack of the overlap mode, ps (see HandshakeMode).
 DEFAULT_HOLD_SLACK = 600.0
@@ -136,8 +172,16 @@ class DesyncNetwork:
                 + library["REQC"].delay)
 
     def ack_delay(self) -> float:
-        """Acknowledge-path delay (inverter + token cell), in ps."""
+        """Acknowledge-path delay (consumer capture to producer arm), ps.
+
+        OVERLAP: local-clock inverter plus the ACKC token cell.  SERIAL:
+        the arm waits for the request token's retirement (REQC), then
+        the set gate (OR2) and the token cell.
+        """
         library = self.netlist.library
+        if self.mode is HandshakeMode.SERIAL:
+            return (library["REQC"].delay + library["OR2"].delay
+                    + library["ACKC"].delay)
         return library["INV"].delay + library["ACKC"].delay
 
 
@@ -146,7 +190,9 @@ def build_network(latched: Netlist, clustering: Clustering,
                   margin: float = DEFAULT_MARGIN,
                   mode: HandshakeMode = HandshakeMode.OVERLAP,
                   hold_slack: float = DEFAULT_HOLD_SLACK,
-                  name: str | None = None) -> DesyncNetwork:
+                  name: str | None = None,
+                  env_stage: dict[str, float] | None = None,
+                  ) -> DesyncNetwork:
     """Build the de-synchronized netlist.
 
     Args:
@@ -158,6 +204,14 @@ def build_network(latched: Netlist, clustering: Clustering,
         mode: acknowledge discipline (see :class:`HandshakeMode`).
         hold_slack: overlap-mode pacing stretch in ps.
         name: name of the produced netlist.
+        env_stage: worst primary-input-to-register stage delay (ps) per
+            input-fed cluster.  In SERIAL mode a non-empty map adds the
+            :data:`ENV_BANK` source domain — request tokens from a
+            free-running environment controller gate every input-fed
+            bank, so no domain can sample a primary input before the
+            environment presented the matching vector.  Ignored in
+            OVERLAP mode, whose environment assumption stays a
+            relative-timing obligation like its other hold conditions.
     """
     if latched.clock is None:
         raise DesyncError(f"{latched.name} has no clock to remove")
@@ -259,30 +313,116 @@ def build_network(latched: Netlist, clustering: Clustering,
                 Q=result.new_net(f"pace:{pred}>{succ}"))
             pacing_tokens[pred].append(pace_token.output_net())
         if pred != succ:
-            # ack(pred -> succ): sets when the consumer pulses while the
-            # producer is idle (P = lt:pred = 0, S = not lt:succ = 0);
-            # clears dominantly on the producer's own pulse (P = 1 with
-            # R tied high) — the token is consumed by the launch itself.
-            # In overlap mode it starts marked: every consumer has
-            # conceptually captured the reset wave already.
-            inverted = result.nets.get(inverted_clock_name(succ))
-            if inverted is None:
-                inverted = result.add_gate(
-                    "INV", [result.net(clock_net_name(succ))],
-                    output=result.net(inverted_clock_name(succ)),
-                    name=f"ctl:{succ}/ltinv")
-            result.add("ACKC", name=f"ack:{pred}>{succ}/c",
-                       init=1 if mode is HandshakeMode.OVERLAP else 0,
-                       P=result.net(clock_net_name(pred)),
-                       R=tie_high,
-                       S=inverted,
-                       Q=result.net(ack_net_name(pred, succ)))
+            # ack(pred -> succ): arms once per consumer capture; clears
+            # dominantly on the producer's own pulse (P = 1 with R tied
+            # high) — the token is consumed by the launch itself.
+            if mode is HandshakeMode.SERIAL:
+                # Serial arming (S = tok OR fired, so the set condition
+                # P = 0 & S = 0 reads "this edge's token was retired AND
+                # the producer has not launched since AND it is idle").
+                # Retirement happens exactly once per consumer capture,
+                # and the fired latch — set by the producer's pulse,
+                # cleared only when the request token re-sets — holds
+                # the gate closed from the launch until a fresh request
+                # matured, so neither the tail of a wide-join consumer
+                # pulse nor the skew of the set gate's own closing edge
+                # can re-arm the producer twice off one capture (see the
+                # module docstring for both failure shapes).  Starts
+                # unmarked: producers wait for the consumers' capture of
+                # the reset wave.
+                fired = result.add(
+                    "REQC", name=f"ack:{pred}>{succ}/fired", init=0,
+                    R=result.net(clock_net_name(pred)),
+                    G=result.net(token_net_name(pred, succ)),
+                    Q=result.new_net(f"fired:{pred}>{succ}"))
+                set_gate = result.add_gate(
+                    "OR2",
+                    [result.net(token_net_name(pred, succ)),
+                     fired.output_net()],
+                    name=f"ack:{pred}>{succ}/set")
+                result.add("ACKC", name=f"ack:{pred}>{succ}/c", init=0,
+                           P=result.net(clock_net_name(pred)),
+                           R=tie_high,
+                           S=set_gate,
+                           Q=result.net(ack_net_name(pred, succ)))
+            else:
+                # Overlap keeps the level-sensitive set (S = NOT lt:succ
+                # alone) and starts marked: every consumer has
+                # conceptually captured the reset wave already (the
+                # model's initial ``af`` token, one launch of slack).
+                inverted = result.nets.get(inverted_clock_name(succ))
+                if inverted is None:
+                    inverted = result.add_gate(
+                        "INV", [result.net(clock_net_name(succ))],
+                        output=result.net(inverted_clock_name(succ)),
+                        name=f"ctl:{succ}/ltinv")
+                result.add("ACKC", name=f"ack:{pred}>{succ}/c", init=1,
+                           P=result.net(clock_net_name(pred)),
+                           R=tie_high,
+                           S=inverted,
+                           Q=result.net(ack_net_name(pred, succ)))
+
+    # Environment source domain (SERIAL mode, input-fed designs only).
+    # The paper treats the synchronous environment as one more producer;
+    # without its tokens, two input-fed banks that share no fabric edge
+    # can drift more than one capture apart, and a single input wire
+    # cannot then hold the right vector for both.  Each input-fed bank
+    # gets a full producer edge from the virtual ``lt:<env>`` clock — a
+    # matched delay line covering the worst input-to-D cone, a request
+    # token, and the same fired-latch serial acknowledge as any register
+    # edge.  The environment controller below free-runs gated by the
+    # C-tree of those acknowledges, so it also never outruns its slowest
+    # consumer.
+    env_requests: dict[str, list[Net]] = {bank: [] for bank in banks}
+    env_acks: list[Net] = []
+    if mode is HandshakeMode.SERIAL and env_stage:
+        env_clock = result.net(clock_net_name(ENV_BANK))
+        for succ in sorted(env_stage):
+            if succ not in banks:
+                continue
+            target = matched_delay_target(env_stage[succ], 0.0, margin)
+            plan = plan_delay_line(target, library)
+            chain = insert_delay_line(result, env_clock,
+                                      f"dl:{ENV_BANK}>{succ}", plan)
+            if chain is env_clock:
+                chain = result.add_gate("BUF", [env_clock],
+                                        name=f"dl:{ENV_BANK}>{succ}/d0")
+                plan = DelayPlan(target=plan.target, n_cells=1,
+                                 achieved=library["BUF"].delay,
+                                 area=library["BUF"].area)
+            result.add_gate(
+                "BUF", [chain],
+                output=result.net(request_net_name(ENV_BANK, succ)),
+                name=f"dl:{ENV_BANK}>{succ}/out")
+            network.delay_plans[(ENV_BANK, succ)] = plan
+            token = result.add(
+                "REQC", name=f"tok:{ENV_BANK}>{succ}/r", init=1,
+                R=result.net(request_net_name(ENV_BANK, succ)),
+                G=result.net(clock_net_name(succ)),
+                Q=result.net(token_net_name(ENV_BANK, succ)))
+            env_requests[succ].append(token.output_net())
+            fired = result.add(
+                "REQC", name=f"ack:{ENV_BANK}>{succ}/fired", init=0,
+                R=env_clock, G=token.output_net(),
+                Q=result.new_net(f"fired:{ENV_BANK}>{succ}"))
+            set_gate = result.add_gate(
+                "OR2", [token.output_net(), fired.output_net()],
+                name=f"ack:{ENV_BANK}>{succ}/set")
+            ack = result.add("ACKC", name=f"ack:{ENV_BANK}>{succ}/c",
+                             init=0, P=env_clock, R=tie_high, S=set_gate,
+                             Q=result.net(ack_net_name(ENV_BANK, succ)))
+            env_acks.append(ack.output_net())
 
     # Controllers.
     for bank_name in sorted(banks):
         network.controllers[bank_name] = _build_controller(
             result, bank_name, clustering, banks[bank_name].has_self_edge,
-            tie_high, pacing_tokens[bank_name])
+            tie_high, pacing_tokens[bank_name],
+            extra_requests=env_requests[bank_name])
+    if env_acks:
+        network.controllers[ENV_BANK] = _build_controller(
+            result, ENV_BANK, clustering, False, tie_high, [],
+            extra_acks=env_acks, self_timed=True)
 
     for port in latched.outputs:
         result.add_output(port)
@@ -302,14 +442,33 @@ def _register_of_latch(latch_name: str) -> str:
 
 def _build_controller(netlist: Netlist, bank: str, clustering: Clustering,
                       has_self_edge: bool, tie_high: Net,
-                      pacing: list[Net]) -> ControllerReport:
+                      pacing: list[Net],
+                      extra_requests: list[Net] | None = None,
+                      extra_acks: list[Net] | None = None,
+                      self_timed: bool = False,
+                      ) -> ControllerReport:
     """Materialize one cluster controller.
 
     ``lt:B = AC2( Ctree(request tokens), Ctree(ack tokens) )``; a bank
     without successors gets the acknowledge input tied high.  The root
     is always a state element initialized low, so the reset fixpoint has
     every local clock at 0 (masters transparent, the synchronous reset
-    state).
+    state).  ``extra_requests`` and ``extra_acks`` carry tokens for
+    edges outside the clustering — today only the :data:`ENV_BANK`
+    environment edges of the serial fabric.
+
+    ``self_timed`` is the request discipline of a bank with *no*
+    request tokens and *many* acknowledges (the environment source
+    domain): its request input is the acknowledge-tree root itself, so
+    a launch strictly requires every consumer's fresh acknowledge.  A
+    free-running ring would race the tree instead — the ring re-arms in
+    a fixed handful of gate delays while the all-low wave of a deep ack
+    tree takes ``depth x C3`` to reach the root, and once the tree is
+    deeper than the ring the controller double-launches off one stale
+    acknowledge round (the exact class of delay-arithmetic race the
+    fired latch removes from the edge cells).  Single-ack sources keep
+    the ring: their "tree" is one ACKC, which always clears faster than
+    the ring re-arms.
     """
     library = netlist.library
     prefix = f"ctl:{bank}"
@@ -319,9 +478,10 @@ def _build_controller(netlist: Netlist, bank: str, clustering: Clustering,
         requests.append(netlist.net(token_net_name(pred, bank)))
     if has_self_edge:
         requests.append(netlist.net(token_net_name(bank, bank)))
+    requests.extend(extra_requests or [])
     requests.extend(pacing)
     n_buffers = 0
-    if not requests:
+    if not requests and not self_timed:
         # Free-running source: inverted self-loop through a short chain.
         inverted = netlist.nets.get(inverted_clock_name(bank))
         if inverted is None:
@@ -337,15 +497,23 @@ def _build_controller(netlist: Netlist, bank: str, clustering: Clustering,
         requests.append(loop)
     acks = [netlist.net(ack_net_name(bank, succ))
             for succ in clustering.successors(bank)]
+    acks.extend(extra_acks or [])
 
     n_celements = 0
-    req_root, count = _ctree(netlist, f"{prefix}/rq", requests, initial=1)
-    n_celements += count
     if acks:
         ack_root, count = _ctree(netlist, f"{prefix}/ak", acks, initial=0)
         n_celements += count
     else:
         ack_root = tie_high
+    if requests:
+        req_root, count = _ctree(netlist, f"{prefix}/rq", requests,
+                                 initial=1)
+        n_celements += count
+    else:
+        if not acks:
+            raise DesyncError(f"{prefix}: self-timed controller needs "
+                              "acknowledges")
+        req_root = ack_root
     netlist.add("AC2", name=f"{prefix}/root", init=0,
                 R=req_root, A=ack_root, Q=clock)
     n_celements += 1

@@ -40,7 +40,8 @@ through the batched flow-equivalence checker for the
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import os
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field, replace
 
 import networkx as nx
@@ -55,13 +56,18 @@ from repro.desync.clustering import (
 from repro.desync.flow import DesyncOptions, DesyncResult
 from repro.desync.latchify import latchify
 from repro.desync.network import DesyncNetwork, HandshakeMode, build_network
-from repro.netlist.core import Netlist, iter_register_banks
+from repro.netlist.core import (
+    Netlist,
+    install_shared_memo,
+    iter_register_banks,
+)
 from repro.obs.metrics import METRICS
-from repro.obs.trace import TRACER
+from repro.obs.trace import TRACE_ENV, TRACER
 from repro.petri.analysis import CycleTimeResult, cycle_time
 from repro.stg.cluster_model import fabric_model
 from repro.stg.desync_model import extract_banks, latch_adjacency
 from repro.stg.stg import Stg
+from repro.timing.sta import INPUTS as STA_INPUTS
 from repro.timing.sta import TimingResult, analyze
 from repro.utils.errors import DesyncError, OptionsError, ReproError
 
@@ -108,6 +114,7 @@ class FlowContext:
     timing: TimingResult | None = None
     stage_max: dict[tuple[str, str], float] | None = None
     stage_min: dict[tuple[str, str], float] | None = None
+    env_stage: dict[str, float] | None = None
     network: DesyncNetwork | None = None
     model: Stg | None = None
     sync_island: str | None = None
@@ -278,6 +285,16 @@ class MatchedDelayPass(Pass):
                              setup=opts.setup, skew=opts.skew)
         ctx.stage_max, ctx.stage_min = cluster_stage_delays(
             ctx.timing.max_delay, ctx.timing.min_delay, ctx.clustering)
+        # Worst primary-input-to-D delay per input-fed cluster, for the
+        # serial fabric's environment source domain (``<inputs>`` is the
+        # STA pseudo-bank for data input ports).
+        ctx.env_stage = {}
+        for (pred, succ), value in ctx.timing.max_delay.items():
+            if pred == STA_INPUTS:
+                bank = ctx.clustering.cluster_of.get(succ)
+                if bank is not None:
+                    ctx.env_stage[bank] = max(
+                        ctx.env_stage.get(bank, 0.0), value)
         info: dict[str, object] = {
             "stages": len(ctx.stage_max),
             "worst_stage_ps": round(max(ctx.stage_max.values(), default=0.0),
@@ -317,7 +334,8 @@ class ControllerNetworkPass(Pass):
         ctx.network = build_network(ctx.latched, ctx.clustering,
                                     ctx.stage_max, margin=opts.margin,
                                     mode=opts.mode,
-                                    hold_slack=opts.hold_slack)
+                                    hold_slack=opts.hold_slack,
+                                    env_stage=ctx.env_stage)
         ctx.model = fabric_model(ctx.clustering, ctx.network,
                                  ctx.sync_netlist.library,
                                  name=f"desync:{ctx.sync_netlist.name}")
@@ -579,6 +597,32 @@ SWEEP_COLUMNS = [
 #: not one event simulation per seed.
 SWEEP_SEEDS = tuple(range(8))
 
+#: Register-bank count above which a sweep cell skips the timed-model
+#: reachability checks (``DesyncOptions.validate_model``).  The OVERLAP
+#: fabric's pacing tokens make the marked-graph state space grow
+#: combinatorially with chain depth — ``fir16``'s 17-bank chain already
+#: exceeds the 200k-marking cap — while flow equivalence (the actual
+#: correctness gate) scales fine.  Structural model checks still run on
+#: every sub-cap config, so the model checker keeps real coverage on
+#: the core corpus.  11 is empirical: the 12-stage deep pipelines are
+#: the smallest corpus members whose overlap-mode reachability blows
+#: the marking cap.
+MODEL_VALIDATION_BANK_CAP = 11
+
+
+#: Environment variable the sweep reads for its default shard count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def sweep_jobs() -> int:
+    """The shard count ``REPRO_JOBS`` requests (>= 1; default 1)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        raise OptionsError(
+            "jobs", f"{JOBS_ENV} must be an integer, got {raw!r}") from None
+
 
 def sweep_pipelines(configs: list[str] | None = None,
                     variants: list[PipelineVariant] | None = None,
@@ -588,6 +632,7 @@ def sweep_pipelines(configs: list[str] | None = None,
                     max_equiv_instances: int = 200,
                     hold_rounds: int = 8,
                     desync_engine: str = "replay",
+                    jobs: int | None = None,
                     ) -> tuple[list[str], list[list[object]], dict]:
     """Run a (corpus config x pipeline variant) grid.
 
@@ -605,7 +650,10 @@ def sweep_pipelines(configs: list[str] | None = None,
     sweep cost), in which case the row reports ``status='unchecked'``.
     A variant that is structurally inapplicable (e.g. ``per-register``
     on a cyclic register graph) reports ``status='invalid'`` instead of
-    failing the sweep.
+    failing the sweep.  Configs with more than
+    :data:`MODEL_VALIDATION_BANK_CAP` register banks run with timed-model
+    reachability validation disabled (it explodes on deep overlap
+    chains; flow equivalence remains the correctness gate).
 
     Each row records the build-vs-verify wall-time split (``build_ms`` /
     ``verify_ms``) and the engine(s) that produced the desync streams
@@ -615,38 +663,72 @@ def sweep_pipelines(configs: list[str] | None = None,
     engine counts, and fallback-reason counts; the same totals land in
     the global metrics registry under ``sweep.*``.  Every cell also gets
     a ``sweep:cell`` tracer span.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
+    shards the grid across a process pool, one task per config —
+    workers reuse compiled artifacts through the fingerprint-keyed
+    shared memo (:func:`repro.netlist.install_shared_memo`) and record
+    their own ``sweep:cell`` spans, which the parent ingests as
+    per-shard trace tracks.  Results merge back in grid order, and
+    worker-side metric counters are folded into the parent registry, so
+    the sharded run's rows, summary and metrics equal the
+    single-process run's (only the wall-time ``build_ms``/``verify_ms``
+    fields differ).
     """
     from repro.corpus import generate
     from repro.equiv import check_flow_equivalence_batch
 
     config_names = configs if configs is not None else _registry_names()
     grid = variants if variants is not None else default_variants()
+    n_jobs = jobs if jobs is not None else sweep_jobs()
     rows: list[list[object]] = []
     statuses: dict[str, int] = {}
     engines: dict[str, int] = {}
     reasons: dict[str, int] = {}
     status_index = SWEEP_COLUMNS.index("status")
     engine_index = SWEEP_COLUMNS.index("desync_engine")
+
+    def tally(row: list[object], stats: dict) -> None:
+        rows.append(row)
+        status = (row[status_index] or "").split(":")[0]
+        statuses[status] = statuses.get(status, 0) + 1
+        for engine, count in stats["engines"].items():
+            engines[engine] = engines.get(engine, 0) + count
+        for reason, count in stats["reasons"].items():
+            reasons[reason] = reasons.get(reason, 0) + count
+
     with TRACER.span("sweep:grid", configs=len(config_names),
-                     variants=len(grid)) as grid_span:
-        for config in config_names:
-            netlist = generate(config)
-            for variant in grid:
-                with TRACER.span("sweep:cell", config=config,
-                                 variant=variant.name) as span:
-                    row, stats = _sweep_cell(
-                        config, netlist, variant, seeds, cycles, backend,
-                        max_equiv_instances, hold_rounds, desync_engine,
-                        check_flow_equivalence_batch)
-                    span.set(status=row[status_index],
-                             desync_engine=row[engine_index])
-                rows.append(row)
-                status = (row[status_index] or "").split(":")[0]
-                statuses[status] = statuses.get(status, 0) + 1
-                for engine, count in stats["engines"].items():
-                    engines[engine] = engines.get(engine, 0) + count
-                for reason, count in stats["reasons"].items():
-                    reasons[reason] = reasons.get(reason, 0) + count
+                     variants=len(grid), jobs=n_jobs) as grid_span:
+        if n_jobs > 1 and len(config_names) > 1:
+            shard_tracks: dict[int, int] = {}
+            for config, results, events, worker_pid, deltas in \
+                    _sweep_sharded(config_names, grid, seeds, cycles,
+                                   backend, max_equiv_instances,
+                                   hold_rounds, desync_engine, n_jobs):
+                for row, stats in results:
+                    tally(row, stats)
+                for name, delta in sorted(deltas.items()):
+                    METRICS.counter(name).inc(delta)
+                if events:
+                    # One trace track per worker process; labels are
+                    # assigned in grid order of first appearance (the
+                    # parent itself records as pid 1).
+                    track = shard_tracks.setdefault(
+                        worker_pid, len(shard_tracks) + 2)
+                    TRACER.ingest(events, pid=track)
+        else:
+            for config in config_names:
+                netlist = generate(config)
+                for variant in grid:
+                    with TRACER.span("sweep:cell", config=config,
+                                     variant=variant.name) as span:
+                        row, stats = _sweep_cell(
+                            config, netlist, variant, seeds, cycles,
+                            backend, max_equiv_instances, hold_rounds,
+                            desync_engine, check_flow_equivalence_batch)
+                        span.set(status=row[status_index],
+                                 desync_engine=row[engine_index])
+                    tally(row, stats)
         grid_span.set(cells=len(rows))
     for status, count in statuses.items():
         METRICS.counter(f"sweep.status.{status}").inc(count)
@@ -665,7 +747,93 @@ def sweep_pipelines(configs: list[str] | None = None,
 
 def _registry_names() -> list[str]:
     from repro.corpus import names
-    return names()
+    return names("all")
+
+
+def _sweep_sharded(config_names: list[str], grid: list[PipelineVariant],
+                   seeds: tuple[int, ...], cycles: int, backend: str,
+                   max_equiv_instances: int, hold_rounds: int,
+                   desync_engine: str, jobs: int) -> Iterator[tuple]:
+    """Dispatch one task per config over a process pool, yielding task
+    results in grid (submission) order — the merge is deterministic by
+    construction, whatever order the shards finish in."""
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        # Forked workers skip re-importing the package per worker; the
+        # initializer severs the inherited tracer/env state.
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        mp_context = multiprocessing.get_context()
+    payloads = [(config, grid, seeds, cycles, backend,
+                 max_equiv_instances, hold_rounds, desync_engine)
+                for config in config_names]
+    with ProcessPoolExecutor(
+            max_workers=min(jobs, len(payloads)),
+            mp_context=mp_context,
+            initializer=_sweep_worker_init,
+            initargs=(TRACER.enabled,)) as pool:
+        yield from pool.map(_sweep_config_task, payloads)
+
+
+def _sweep_worker_init(tracing: bool = False) -> None:
+    """Per-worker setup: sever inherited trace state, arm in-memory
+    tracing when the parent traces, and install the fingerprint-keyed
+    shared compile cache so every cell of every config this worker
+    processes reuses compiled simulator artifacts."""
+    os.environ.pop(TRACE_ENV, None)
+    TRACER.disarm()
+    if tracing:
+        TRACER.start()
+    install_shared_memo({})
+
+
+def _counter_values() -> dict[str, int | float]:
+    return {name: entry["value"]
+            for name, entry in METRICS.snapshot().items()
+            if entry["type"] == "counter"}
+
+
+def _sweep_config_task(payload: tuple) -> tuple:
+    """One shard task: every variant of one config.
+
+    Returns ``(config, [(row, stats), ...], trace_events, worker_pid,
+    counter_deltas)`` — everything the parent needs to merge the shard
+    back as if it had run inline: rows in variant order, the worker's
+    span recording since the previous task, and the deltas its cells
+    added to the process-local metric counters.
+    """
+    (config, grid, seeds, cycles, backend, max_equiv_instances,
+     hold_rounds, desync_engine) = payload
+    from repro.corpus import generate
+    from repro.equiv import check_flow_equivalence_batch
+
+    status_index = SWEEP_COLUMNS.index("status")
+    engine_index = SWEEP_COLUMNS.index("desync_engine")
+    counters_before = _counter_values()
+    netlist = generate(config)
+    results = []
+    for variant in grid:
+        with TRACER.span("sweep:cell", config=config,
+                         variant=variant.name) as span:
+            row, stats = _sweep_cell(
+                config, netlist, variant, seeds, cycles, backend,
+                max_equiv_instances, hold_rounds, desync_engine,
+                check_flow_equivalence_batch)
+            span.set(status=row[status_index],
+                     desync_engine=row[engine_index])
+        results.append((row, stats))
+    deltas = {}
+    for name, value in _counter_values().items():
+        delta = value - counters_before.get(name, 0)
+        if delta:
+            deltas[name] = delta
+    events: list[dict[str, object]] = []
+    if TRACER.enabled:
+        events = TRACER.events()
+        TRACER.start()  # clear: the next task reports only its own spans
+    return config, results, events, os.getpid(), deltas
 
 
 def _engine_summary(reports) -> str:
@@ -694,6 +862,12 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
 
     stats = {"engines": {}, "reasons": {}}
     options = replace(variant.options)
+    if options.validate_model and \
+            sum(1 for _ in iter_register_banks(netlist)) \
+            > MODEL_VALIDATION_BANK_CAP:
+        # Scale-tier members blow the reachability cap (see
+        # MODEL_VALIDATION_BANK_CAP); equivalence stays the gate.
+        options.validate_model = False
     if variant.sync_banks == AUTO_SYNC_BANKS:
         options.sync_banks = auto_sync_banks(netlist)
     elif variant.sync_banks:

@@ -8,7 +8,14 @@ from repro.netlist.cells import (
     generic_library,
     truth_table,
 )
-from repro.netlist.core import Instance, Net, Netlist, clone, iter_register_banks
+from repro.netlist.core import (
+    Instance,
+    Net,
+    Netlist,
+    clone,
+    install_shared_memo,
+    iter_register_banks,
+)
 from repro.netlist.dot import netlist_to_dot
 from repro.netlist.stats import NetlistStats, collect_stats
 
@@ -23,6 +30,7 @@ __all__ = [
     "Net",
     "Netlist",
     "clone",
+    "install_shared_memo",
     "iter_register_banks",
     "netlist_to_dot",
     "NetlistStats",

@@ -18,6 +18,7 @@ Conventions:
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
@@ -25,6 +26,28 @@ from repro.netlist.cells import Cell, CellKind, Library, GENERIC
 from repro.obs.trace import TRACER as _TRACER
 from repro.utils.errors import NetlistError
 from repro.utils.naming import NameScope
+
+#: Process-global cross-netlist artifact cache; see
+#: :func:`install_shared_memo`.
+_SHARED_MEMO: dict | None = None
+
+
+def install_shared_memo(cache: dict | None) -> dict | None:
+    """Install (or, with ``None``, remove) the process-global compile
+    cache consulted by :meth:`Netlist.memo` calls made with
+    ``shared=True``.
+
+    Entries are keyed ``(netlist.fingerprint(), memo_key)``, so distinct
+    :class:`Netlist` objects with identical structure — the same corpus
+    config regenerated in every sweep cell, or in every cell a sweep
+    *worker* processes — share one compiled artifact instead of
+    recompiling per object.  Returns the previously installed cache (so
+    callers can restore it).
+    """
+    global _SHARED_MEMO
+    previous = _SHARED_MEMO
+    _SHARED_MEMO = cache
+    return previous
 
 
 @dataclass
@@ -145,7 +168,7 @@ class Netlist:
         """Drop cached structural queries after a direct mutation."""
         self._query_cache.clear()
 
-    def memo(self, key, compute):
+    def memo(self, key, compute, shared: bool = False):
         """Memoize a structure-derived value in the query cache.
 
         Invalidated together with the structural queries (any ``add``/
@@ -154,16 +177,76 @@ class Netlist:
         simulator's generated evaluation functions — without their own
         invalidation plumbing.  The value is returned as stored: share
         only immutable (or never-mutated) values.
+
+        With ``shared=True`` a local miss additionally consults the
+        process-global cache installed by :func:`install_shared_memo`,
+        keyed by ``(fingerprint(), key)`` — so *structurally identical*
+        netlist objects (e.g. the same corpus config regenerated per
+        sweep cell) reuse one compiled artifact.  Only pass
+        ``shared=True`` for values that reference the netlist purely
+        through structure-derived data (slot indices, generated source);
+        values holding :class:`Instance`/:class:`Net` objects must stay
+        per-netlist.
         """
         hit = self._query_cache.get(key)
-        if hit is None:
-            hit = compute()
-            self._query_cache[key] = hit
+        if hit is not None:
             if _TRACER.enabled:
-                _TRACER.count("netlist.memo_misses")
-        elif _TRACER.enabled:
-            _TRACER.count("netlist.memo_hits")
+                _TRACER.count("netlist.memo_hits")
+            return hit
+        if shared and _SHARED_MEMO is not None:
+            shared_key = (self.fingerprint(), key)
+            hit = _SHARED_MEMO.get(shared_key)
+            if hit is None:
+                hit = compute()
+                _SHARED_MEMO[shared_key] = hit
+                if _TRACER.enabled:
+                    _TRACER.count("netlist.memo_misses")
+            elif _TRACER.enabled:
+                _TRACER.count("netlist.memo_shared_hits")
+            self._query_cache[key] = hit
+            return hit
+        hit = compute()
+        self._query_cache[key] = hit
+        if _TRACER.enabled:
+            _TRACER.count("netlist.memo_misses")
         return hit
+
+    def fingerprint(self) -> str:
+        """sha256 of the construction-order structural identity.
+
+        Covers everything the compiled simulator artifacts depend on:
+        net insertion order (slot assignment follows it), ports and
+        clock, instances in insertion order with cell, init and pin
+        bindings, and the library's cell inventory (truth tables,
+        delays, areas).  The module *name* is excluded — the fingerprint
+        identifies structure, so regenerating a corpus config yields the
+        same fingerprint.  Cached in the query cache, hence recomputed
+        after any mutation.
+        """
+        cached = self._query_cache.get("fingerprint")
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+
+        def feed(*parts: object) -> None:
+            digest.update("\x1f".join(str(part) for part in parts)
+                          .encode() + b"\n")
+
+        feed("library", self.library.name)
+        for cell in sorted(self.library.cells):
+            entry = self.library.cells[cell]
+            feed(cell, entry.kind.name, entry.tt, entry.delay, entry.area)
+        feed("nets", *self.nets)
+        feed("inputs", *self.inputs)
+        feed("outputs", *self.outputs)
+        feed("clock", self.clock)
+        for inst in self.instances.values():
+            feed(inst.name, inst.cell.name, inst.init,
+                 *(f"{pin}={inst.pins[pin].name}"
+                   for pin in inst.cell.pins if pin in inst.pins))
+        cached = digest.hexdigest()
+        self._query_cache["fingerprint"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # construction

@@ -164,6 +164,38 @@ class Tracer:
             self.write(self._path)
         return list(self._events)
 
+    def disarm(self) -> None:
+        """Disable and forget everything — recording, armed path, events.
+
+        Unlike :meth:`stop` nothing is written: this is for forked
+        sweep workers that inherit the parent's armed tracer (and its
+        ``atexit`` write hook) but must not clobber the parent's output
+        file.  Workers re-:meth:`start` with no path and hand their
+        events back for the parent to :meth:`ingest`.
+        """
+        self._enabled = False
+        self._path = None
+        self._events = []
+        self._totals = {}
+
+    def ingest(self, events: list[dict[str, object]], pid: int) -> int:
+        """Merge foreign events (a worker's recording) into this trace.
+
+        ``pid`` relabels the events' process id so each shard gets its
+        own track in the viewer (the parent records as pid 1).  Worker
+        timestamps are kept as-is — they are relative to the worker's
+        own epoch, which for pool workers starts at pool spin-up, so
+        tracks align closely enough for cost attribution.  Returns the
+        number of events ingested.  No-op while disabled.
+        """
+        if not self._enabled:
+            return 0
+        for event in events:
+            merged = dict(event)
+            merged["pid"] = pid
+            self._events.append(merged)
+        return len(events)
+
     # -- recording -----------------------------------------------------
     def span(self, name: str, **attrs) -> Span | _NullSpan:
         """Open a span (returns :data:`NULL_SPAN` while disabled)."""

@@ -400,7 +400,8 @@ class VectorCycleSimulator(_VectorSimulatorBase):
         self._eval, self.source = netlist.memo(
             ("vector_eval", "comb", lanes),
             lambda: compile_pass(netlist, netlist.topo_order_comb_only(),
-                                 self._slot_of, lanes))
+                                 self._slot_of, lanes),
+            shared=True)
         self._ffs = [self._seq_slots(ff) for ff in netlist.dff_instances()]
 
     def evaluate(self) -> None:
@@ -446,12 +447,14 @@ class VectorLatchCycleSimulator(_VectorSimulatorBase):
             ("vector_eval", "latch_low", lanes),
             lambda: compile_pass(netlist,
                                  phase_order(netlist, transparent=even),
-                                 self._slot_of, lanes))
+                                 self._slot_of, lanes),
+            shared=True)
         self._eval_high, source_high = netlist.memo(
             ("vector_eval", "latch_high", lanes),
             lambda: compile_pass(netlist,
                                  phase_order(netlist, transparent=odd),
-                                 self._slot_of, lanes))
+                                 self._slot_of, lanes),
+            shared=True)
         self.source = source_low + "\n\n" + source_high
         self._even = [self._seq_slots(latch) for latch in even]
         self._odd = [self._seq_slots(latch) for latch in odd]

@@ -421,7 +421,8 @@ class ScheduleReplaySimulator:
                     _segment_order(self.netlist, half,
                                    [self._latch_inst[slots.name]
                                     for slots in half.latches]),
-                    self._slot_of, self.lanes))
+                    self._slot_of, self.lanes),
+                shared=True)
             self._segment_cache[key] = fn
         return fn
 

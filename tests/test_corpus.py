@@ -107,3 +107,72 @@ class TestPipelineShape:
         banks = dict(iter_register_banks(netlist))
         assert set(banks) == {"st0", "st1", "st2"}
         assert all(len(b) == 4 for b in banks.values())
+
+
+class TestTiers:
+    def test_core_is_the_default_population(self):
+        from repro.corpus import TIERS
+        assert TIERS == ("core", "scale")
+        assert names() == names("core")
+        assert len(names("core")) == 13
+
+    def test_scale_tier_grows_the_corpus_an_order_of_magnitude(self):
+        core, scale = names("core"), names("scale")
+        assert not set(core) & set(scale)
+        assert len(scale) >= 8 * len(core)
+        assert names("all") == sorted(core + scale)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(CorpusError, match="unknown corpus tier"):
+            names("galactic")
+        with pytest.raises(CorpusError, match="unknown corpus tier"):
+            spec("x", "lfsr", tier="galactic")
+
+    def test_scale_members_generate_and_validate(self):
+        # Spot-check one member per scale family (generating all 110
+        # is bench territory, not unit-test territory).
+        for name in ["fir16", "mult16", "pipe12x8", "rnd8s3", "dlx"]:
+            netlist = generate(name)
+            netlist.validate()
+            assert netlist.dff_instances()
+
+
+class TestRandomNetlist:
+    def test_deterministic_per_seed(self):
+        from repro.corpus import random_netlist
+        from repro.verilog import netlist_signature
+        assert (netlist_signature(random_netlist(seed=7))
+                == netlist_signature(random_netlist(seed=7)))
+        assert (netlist_signature(random_netlist(seed=7))
+                != netlist_signature(random_netlist(seed=8)))
+
+    def test_shape_knobs(self):
+        from repro.corpus import random_netlist
+        netlist = random_netlist(registers=9, inputs=3, seed=1)
+        netlist.validate()
+        assert len(netlist.dff_instances()) == 9
+        assert sum(1 for port in netlist.inputs
+                   if port != netlist.clock) == 3
+
+    def test_too_small_rejected(self):
+        # Raw generators raise ValueError; generate() wraps it in a
+        # located CorpusError.
+        with pytest.raises(CorpusError, match="invalid"):
+            generate(spec("bad", "random_netlist", registers=1))
+
+
+class TestDlxCorpusEntry:
+    def test_dlx_comes_through_the_verilog_frontend(self):
+        netlist = generate("dlx")
+        netlist.validate()
+        # Reader provenance, not the RTL builder's object graph: the
+        # netlist carries the round-trip annotations.
+        assert netlist.dff_instances()
+        assert netlist.clock is not None
+
+    def test_bad_dlx_parameters_rejected(self):
+        from repro.corpus import dlx_datapath
+        with pytest.raises(ValueError, match="width"):
+            dlx_datapath(width=8)
+        with pytest.raises(ValueError, match="power of two"):
+            dlx_datapath(n_registers=6)

@@ -434,3 +434,84 @@ class TestDifferentialDumps:
                                   dump_dir=str(tmp_path))
         assert report.ok and not report.dumps
         assert not os.listdir(str(tmp_path))
+
+
+class TestWorkerTraceHandoff:
+    """The disarm/ingest pair that carries spans across sweep shards."""
+
+    def test_disarm_forgets_everything(self, tmp_path):
+        tracer = Tracer()
+        tracer.start(str(tmp_path / "parent.json"))
+        with tracer.span("inherited"):
+            pass
+        tracer.disarm()
+        assert not tracer.enabled
+        assert tracer.path is None
+        assert tracer.events() == []
+        # Nothing was written: the worker must not clobber the parent's
+        # armed output file.
+        assert not (tmp_path / "parent.json").exists()
+
+    def test_ingest_relabels_pid_per_shard(self):
+        parent, worker = Tracer(), Tracer()
+        parent.start()
+        worker.start()
+        with worker.span("cell", config="fir8"):
+            pass
+        shipped = worker.events()
+        assert parent.ingest(shipped, pid=7) == len(shipped)
+        merged = [e for e in parent.events() if e["name"] == "cell"]
+        assert merged and all(e["pid"] == 7 for e in merged)
+        # The worker's own record is untouched (pid stays local).
+        assert all(e["pid"] == 1 for e in worker.events())
+
+    def test_ingest_is_inert_while_disabled(self):
+        parent = Tracer()
+        assert parent.ingest([{"name": "x", "ph": "i"}], pid=2) == 0
+        assert parent.events() == []
+
+
+class TestSharedCompileMemo:
+    """Fingerprint-keyed cross-netlist artifact reuse (sweep workers)."""
+
+    def test_fingerprint_identifies_structure_not_name(self):
+        from repro.corpus import fir_filter
+        first = fir_filter(taps=5, name="one")
+        second = fir_filter(taps=5, name="two")
+        assert first.fingerprint() == second.fingerprint()
+        assert first.fingerprint() != fir_filter(taps=6).fingerprint()
+
+    def test_fingerprint_tracks_mutation(self):
+        from repro.corpus import fir_filter
+        netlist = fir_filter(taps=5)
+        before = netlist.fingerprint()
+        netlist.add_gate("INV", [netlist.net("din")], name="extra")
+        assert netlist.fingerprint() != before
+
+    def test_shared_memo_reuses_across_identical_netlists(self):
+        from repro.corpus import fir_filter
+        from repro.netlist import install_shared_memo
+        calls = []
+        previous = install_shared_memo({})
+        try:
+            one = fir_filter(taps=5).memo(
+                "artifact", lambda: calls.append(1) or "compiled",
+                shared=True)
+            two = fir_filter(taps=5).memo(
+                "artifact", lambda: calls.append(2) or "recompiled",
+                shared=True)
+        finally:
+            install_shared_memo(previous)
+        assert one == two == "compiled"
+        assert calls == [1]  # the second netlist hit the shared cache
+
+    def test_unshared_memo_stays_per_netlist(self):
+        from repro.corpus import fir_filter
+        from repro.netlist import install_shared_memo
+        previous = install_shared_memo({})
+        try:
+            one = fir_filter(taps=5).memo("artifact", lambda: "a")
+            two = fir_filter(taps=5).memo("artifact", lambda: "b")
+        finally:
+            install_shared_memo(previous)
+        assert (one, two) == ("a", "b")

@@ -55,6 +55,19 @@ DESYNC_PINS = {
     "pipe8x2": "6d4996d7346ce7b3",
 }
 
+# Serial-mode pins: the statically race-free discipline, including the
+# fired-latch acknowledge cells and (on input-fed designs) the
+# environment source domain.  fir8/fir10 are the wide-join shapes that
+# exposed the two pre-fix acknowledge races; rnd8s3 is the
+# multi-domain input-fed shape that motivated the environment domain.
+SERIAL_DESYNC_PINS = {
+    "counter6": "103472a427c0e782",
+    "fir10": "c2cffd01f1c2fb8b",
+    "fir8": "33c1fec3d5938aef",
+    "pipe4x1": "a3e3d5e2dec1e4f9",
+    "rnd8s3": "e383410de9b4140b",
+}
+
 
 def _fingerprint(result) -> str:
     payload = json.dumps({
@@ -73,6 +86,12 @@ class TestWrapperIdentity:
     def test_desynchronize_output_pinned(self, config):
         result = desynchronize(generate(config))
         assert _fingerprint(result) == DESYNC_PINS[config]
+
+    @pytest.mark.parametrize("config", sorted(SERIAL_DESYNC_PINS))
+    def test_serial_output_pinned(self, config):
+        result = desynchronize(
+            generate(config), DesyncOptions(mode=HandshakeMode.SERIAL))
+        assert _fingerprint(result) == SERIAL_DESYNC_PINS[config]
 
     def test_wrapper_equals_explicit_pipeline(self):
         netlist = generate("lfsr8")
@@ -371,6 +390,44 @@ class TestSweepDriver:
         strategies = {variant.options.strategy
                       for variant in default_variants()}
         assert strategies == set(CLUSTERING_STRATEGIES)
+
+
+class TestShardedSweep:
+    SWEEP_KWARGS = dict(
+        configs=["pipe4x1", "lfsr8", "fir5"],
+        variants=[PipelineVariant(
+            "serial", options=DesyncOptions(mode=HandshakeMode.SERIAL))],
+        seeds=(0, 1), cycles=8)
+
+    def test_sharded_merge_matches_single_process(self):
+        from repro.desync.pipeline import SWEEP_COLUMNS
+        columns, solo, solo_summary = sweep_pipelines(jobs=1,
+                                                      **self.SWEEP_KWARGS)
+        _, sharded, sharded_summary = sweep_pipelines(jobs=2,
+                                                      **self.SWEEP_KWARGS)
+        timing = {SWEEP_COLUMNS.index("build_ms"),
+                  SWEEP_COLUMNS.index("verify_ms")}
+
+        def stable(rows):
+            return [[value for index, value in enumerate(row)
+                     if index not in timing] for row in rows]
+
+        # Byte-identical modulo the wall-time columns: the merge is in
+        # submission order, so shard scheduling cannot reorder rows.
+        assert stable(sharded) == stable(solo)
+        assert sharded_summary == solo_summary
+
+    def test_jobs_env_knob(self, monkeypatch):
+        from repro.desync.pipeline import JOBS_ENV, sweep_jobs
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert sweep_jobs() == 1
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert sweep_jobs() == 3
+        monkeypatch.setenv(JOBS_ENV, "0")
+        assert sweep_jobs() == 1
+        monkeypatch.setenv(JOBS_ENV, "two")
+        with pytest.raises(OptionsError, match="REPRO_JOBS"):
+            sweep_jobs()
 
 
 class TestNamingDedupe:
