@@ -125,6 +125,12 @@ def test_bench_pipeline_sweep(benchmark):
                if cell["equiv_seeds"]), verified
     assert all(cell["desync_engine"] == "replay" for cell in ok), (
         [c["desync_engine"] for c in ok])
+    # The replay engine must never have silently fallen back to scalar
+    # event simulation anywhere in the grid: the counter is registered
+    # at zero by the sweep, so its absence is also a failure.
+    fallbacks = METRICS.snapshot().get("sim.replay.fallbacks")
+    assert fallbacks is not None, "sim.replay.fallbacks not registered"
+    assert fallbacks["value"] == 0, fallbacks
     # Build-vs-verify split recorded per row.
     assert all(cell["build_ms"] is not None for cell in by)
     assert all(cell["verify_ms"] is not None for cell in verified

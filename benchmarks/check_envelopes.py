@@ -93,8 +93,11 @@ def check_envelopes(out_dir: str) -> list[str]:
 
 
 #: Per-row wall-time fields ``--compare`` ignores: they are the only
-#: columns a sharded run is allowed to differ on.
-TIMING_FIELDS = ("build_ms", "verify_ms")
+#: columns a sharded (or interrupted-and-resumed) run is allowed to
+#: differ on.  ``wall_ms``/``attempts`` are the campaign envelope's
+#: equivalents of the sweep's ``build_ms``/``verify_ms`` — a resumed
+#: campaign re-times restored cells but must reproduce their results.
+TIMING_FIELDS = ("build_ms", "verify_ms", "wall_ms", "attempts")
 
 
 def compare_envelopes(path_a: str, path_b: str,

@@ -31,6 +31,8 @@ figure reproductions.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -112,10 +114,13 @@ class DesyncOptions:
                 "mode", f"expected a HandshakeMode, got {self.mode!r}")
         for name in ("margin", "setup", "skew", "hold_slack"):
             value = getattr(self, name)
+            # NaN slips through a bare `value < 0` (all comparisons are
+            # False), so finiteness is checked explicitly.
             if not isinstance(value, (int, float)) or isinstance(value, bool) \
-                    or value < 0:
+                    or not math.isfinite(value) or value < 0:
                 raise OptionsError(
-                    name, f"must be a non-negative number, got {value!r}")
+                    name,
+                    f"must be a finite non-negative number, got {value!r}")
         if not isinstance(self.model_check_states, int) \
                 or self.model_check_states < 1:
             raise OptionsError(

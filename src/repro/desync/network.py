@@ -286,7 +286,8 @@ def build_network(latched: Netlist, clustering: Clustering,
         if stage is None:
             raise DesyncError(f"no stage delay for edge {pred} -> {succ}")
         target = matched_delay_target(stage, clk_to_q, margin)
-        plan = plan_delay_line(target, library)
+        plan = plan_delay_line(target, library,
+                               context=f"stage {pred}->{succ}")
         source = result.net(clock_net_name(pred))
         chain = insert_delay_line(result, source, f"dl:{pred}>{succ}", plan)
         if chain is source:
@@ -304,7 +305,8 @@ def build_network(latched: Netlist, clustering: Clustering,
                    R=raw, G=result.net(clock_net_name(succ)),
                    Q=result.net(token_net_name(pred, succ)))
         if mode is HandshakeMode.OVERLAP:
-            pace_plan = plan_delay_line(hold_slack, library)
+            pace_plan = plan_delay_line(
+                hold_slack, library, context=f"pacing {pred}->{succ}")
             pace_chain = insert_delay_line(result, chain,
                                            f"pc:{pred}>{succ}", pace_plan)
             pace_token = result.add(
@@ -381,7 +383,9 @@ def build_network(latched: Netlist, clustering: Clustering,
             if succ not in banks:
                 continue
             target = matched_delay_target(env_stage[succ], 0.0, margin)
-            plan = plan_delay_line(target, library)
+            plan = plan_delay_line(
+                target, library,
+                context=f"env stage {ENV_BANK}->{succ}")
             chain = insert_delay_line(result, env_clock,
                                       f"dl:{ENV_BANK}>{succ}", plan)
             if chain is env_clock:

@@ -41,7 +41,7 @@ through the batched flow-equivalence checker for the
 from __future__ import annotations
 
 import os
-from collections.abc import Callable, Iterator
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
 import networkx as nx
@@ -673,7 +673,12 @@ def sweep_pipelines(configs: list[str] | None = None,
     worker-side metric counters are folded into the parent registry, so
     the sharded run's rows, summary and metrics equal the
     single-process run's (only the wall-time ``build_ms``/``verify_ms``
-    fields differ).
+    fields differ).  Sharded scheduling runs on the resilient executor
+    (:func:`repro.faults.run_cells`): per-config wall-clock timeouts
+    (``REPRO_CELL_TIMEOUT``), worker-crash recovery and bounded retries
+    (``REPRO_CELL_RETRIES``); a config that keeps failing is quarantined
+    — its rows report ``status='quarantined: ...'`` and the executor
+    accounting lands in ``summary['executor']``.
     """
     from repro.corpus import generate
     from repro.equiv import check_flow_equivalence_batch
@@ -697,14 +702,19 @@ def sweep_pipelines(configs: list[str] | None = None,
         for reason, count in stats["reasons"].items():
             reasons[reason] = reasons.get(reason, 0) + count
 
+    # Register the replay-fallback counter up front so every sweep
+    # envelope carries it even when it stays zero — the CI smoke job
+    # asserts on exactly that.
+    METRICS.counter("sim.replay.fallbacks").inc(0)
+    exec_stats = None
     with TRACER.span("sweep:grid", configs=len(config_names),
                      variants=len(grid), jobs=n_jobs) as grid_span:
         if n_jobs > 1 and len(config_names) > 1:
             shard_tracks: dict[int, int] = {}
-            for config, results, events, worker_pid, deltas in \
-                    _sweep_sharded(config_names, grid, seeds, cycles,
-                                   backend, max_equiv_instances,
-                                   hold_rounds, desync_engine, n_jobs):
+            shards, exec_stats = _sweep_sharded(
+                config_names, grid, seeds, cycles, backend,
+                max_equiv_instances, hold_rounds, desync_engine, n_jobs)
+            for config, results, events, worker_pid, deltas in shards:
                 for row, stats in results:
                     tally(row, stats)
                 for name, delta in sorted(deltas.items()):
@@ -742,6 +752,8 @@ def sweep_pipelines(configs: list[str] | None = None,
         "desync_engines": dict(sorted(engines.items())),
         "fallback_reasons": dict(sorted(reasons.items())),
     }
+    if exec_stats is not None:
+        summary["executor"] = exec_stats.as_dict()
     return list(SWEEP_COLUMNS), rows, summary
 
 
@@ -753,28 +765,63 @@ def _registry_names() -> list[str]:
 def _sweep_sharded(config_names: list[str], grid: list[PipelineVariant],
                    seeds: tuple[int, ...], cycles: int, backend: str,
                    max_equiv_instances: int, hold_rounds: int,
-                   desync_engine: str, jobs: int) -> Iterator[tuple]:
-    """Dispatch one task per config over a process pool, yielding task
-    results in grid (submission) order — the merge is deterministic by
-    construction, whatever order the shards finish in."""
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
+                   desync_engine: str, jobs: int) -> tuple[list[tuple], object]:
+    """Dispatch one task per config through the resilient executor.
 
-    try:
-        # Forked workers skip re-importing the package per worker; the
-        # initializer severs the inherited tracer/env state.
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        mp_context = multiprocessing.get_context()
-    payloads = [(config, grid, seeds, cycles, backend,
-                 max_equiv_instances, hold_rounds, desync_engine)
-                for config in config_names]
-    with ProcessPoolExecutor(
-            max_workers=min(jobs, len(payloads)),
-            mp_context=mp_context,
-            initializer=_sweep_worker_init,
-            initargs=(TRACER.enabled,)) as pool:
-        yield from pool.map(_sweep_config_task, payloads)
+    Returns ``(shards, executor_stats)`` with shards in grid
+    (submission) order — the merge is deterministic by construction,
+    whatever order the shards finish in.  Scheduling runs on
+    :func:`repro.faults.run_cells`: a config whose worker hangs past
+    ``REPRO_CELL_TIMEOUT`` or crashes the pool is retried
+    (``REPRO_CELL_RETRIES``) and, if it keeps failing, quarantined —
+    its variants come back as rows with status ``'quarantined: ...'``
+    instead of taking the whole sweep down.
+    """
+    # Deferred: repro.faults.executor imports repro.obs only, but the
+    # repro.faults package re-exports the campaign driver, which imports
+    # this module.
+    from repro.faults.executor import (
+        ExecutorPolicy,
+        cell_retries,
+        cell_timeout,
+        run_cells,
+    )
+
+    tasks = [(config, (config, grid, seeds, cycles, backend,
+                       max_equiv_instances, hold_rounds, desync_engine))
+             for config in config_names]
+    policy = ExecutorPolicy(jobs=min(jobs, len(tasks)),
+                            timeout=cell_timeout(),
+                            retries=cell_retries())
+    outcomes, stats = run_cells(tasks, _sweep_config_task, policy,
+                                initializer=_sweep_worker_init,
+                                initargs=(TRACER.enabled,),
+                                metric_prefix="sweep.executor")
+    shards = []
+    for config in config_names:
+        outcome = outcomes[config]
+        if outcome.status == "ok" and outcome.value is not None:
+            shards.append(tuple(outcome.value))
+        else:
+            results = [(_quarantined_row(config, variant, outcome.error),
+                        {"engines": {}, "reasons": {}})
+                       for variant in grid]
+            shards.append((config, results, [], 0, {}))
+    return shards, stats
+
+
+def _quarantined_row(config: str, variant: PipelineVariant,
+                     error: str | None) -> list[object]:
+    """A sweep row for a config the executor gave up on: identity
+    columns filled, measurements empty, the failure in ``status``."""
+    row = dict.fromkeys(SWEEP_COLUMNS)
+    row.update(config=config, variant=variant.name,
+               pipeline=variant.pipeline,
+               strategy=variant.options.strategy,
+               mode=getattr(variant.options.mode, "value",
+                            variant.options.mode),
+               status=f"quarantined: {error or 'executor gave up'}"[:160])
+    return [row[column] for column in SWEEP_COLUMNS]
 
 
 def _sweep_worker_init(tracing: bool = False) -> None:

@@ -158,7 +158,8 @@ def _masters(result: DesyncResult | FlowContext) -> dict[str, str]:
 
 def _paced_run(sim, result: DesyncResult | FlowContext, cycles: int,
                inputs_per_cycle, masters: dict[str, str],
-               time_limit: float | None = None) -> None:
+               time_limit: float | None = None,
+               delay_model=None) -> None:
     """Drive the fabric simulation ``sim`` under observational pacing.
 
     This is the environment protocol shared by the scalar and the
@@ -174,15 +175,25 @@ def _paced_run(sim, result: DesyncResult | FlowContext, cycles: int,
     with TRACER.span("sim:paced-run",
                      engine=type(sim).__name__, cycles=cycles) as span:
         _paced_run_inner(sim, result, cycles, inputs_per_cycle, masters,
-                         time_limit)
+                         time_limit, delay_model)
         span.count("sim.events_popped", getattr(sim, "n_events", 0))
 
 
 def _paced_run_inner(sim, result, cycles, inputs_per_cycle, masters,
-                     time_limit):
+                     time_limit, delay_model=None):
     period = result.desync_cycle_time().cycle_time
+    # The pacing horizon and polling granularity derive from the
+    # *nominal* cycle time; a delay model dilates real time without
+    # touching that model, so stretch the stall horizon by its upper
+    # bound and refine the polling chunk by its lower bound — otherwise
+    # slowed fabrics are misreported as stalled and sped-up ones are
+    # fed their vectors a local cycle late.
+    stretch, shrink = 1.0, 1.0
+    if delay_model is not None and not delay_model.is_identity:
+        stretch = max(1.0, delay_model.max_factor())
+        shrink = min(1.0, max(delay_model.min_factor(), 1e-3))
     horizon = time_limit if time_limit is not None else \
-        max(1.0, period) * (cycles + 8) * 2
+        max(1.0, period) * (cycles + 8) * 2 * stretch
     feeds: list[str] = []
     # Registers-only circuits produce all-empty vectors; there is then
     # nothing to pace and the cheap polling granularity suffices.
@@ -197,7 +208,7 @@ def _paced_run_inner(sim, result, cycles, inputs_per_cycle, masters,
         max_cell_delay = max(
             cell.delay
             for cell in result.desync_netlist.library.cells.values())
-        chunk = max(1.0, min(period / 8.0, max_cell_delay))
+        chunk = max(1.0, min(period / 8.0, max_cell_delay) * shrink)
     else:
         chunk = max(1.0, period) * 2
     next_vector = 1
@@ -227,6 +238,8 @@ def desync_streams(result: DesyncResult | FlowContext, cycles: int,
                    inputs_per_cycle: list[dict[str, Value]] | None = None,
                    time_limit: float | None = None,
                    backend: str = DEFAULT_BACKEND,
+                   delay_model=None,
+                   arm=None,
                    ) -> dict[str, list[Value]]:
     """Per-register capture streams from the de-synchronized circuit.
 
@@ -252,15 +265,22 @@ def desync_streams(result: DesyncResult | FlowContext, cycles: int,
     ahead of deeper ones, which is why only the input-fed registers
     gate the stepping).  This models the paper's environment assumption
     that new data arrives early in each local cycle.
+
+    ``delay_model`` perturbs the fabric's per-instance delays (the
+    pacing horizon and granularity scale with its bounds); ``arm`` is a
+    fault-injection hook called with the constructed simulator before
+    the run — e.g. to schedule a stuck-at force or a glitch.
     """
     initial = dict(inputs or {})
     if inputs_per_cycle:
         initial.update(inputs_per_cycle[0])
     sim = make_simulator(result.desync_netlist, backend,
-                         initial_inputs=initial)
+                         initial_inputs=initial, delay_model=delay_model)
+    if arm is not None:
+        arm(sim)
     masters = _masters(result)
     _paced_run(sim, result, cycles, inputs_per_cycle, masters,
-               time_limit=time_limit)
+               time_limit=time_limit, delay_model=delay_model)
     captures = sim.captures
     return {
         masters[m]: [capture.value for capture in captures[m][:cycles]]
@@ -302,6 +322,7 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
                          backend: str = DEFAULT_BACKEND,
                          lanes: int = VECTOR_LANES,
                          engine: str = "replay",
+                         delay_model=None,
                          ) -> tuple[list[dict[str, list[Value]]],
                                     list[tuple[str, str | None]]]:
     """De-synchronized capture streams for N stimuli, batched.
@@ -317,35 +338,48 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
     original flip-flop name, and an ``(engine, fallback_reason)`` pair
     (``("replay", None)`` or ``("scalar", reason)``; ``reason`` is
     ``None`` when scalar was requested explicitly).
+
+    A non-identity ``delay_model`` forces the scalar path by design —
+    the replay engine's transfer proof assumes the recorded schedule's
+    constant delays — with the reason recorded on every report, but it
+    is *not* a fallback: the ``sim.replay.fallbacks`` counter only
+    counts blocks where replay was expected to work and didn't.
     """
     if engine not in DESYNC_ENGINES:
         raise FlowEquivalenceError(
             f"unknown desync engine {engine!r} "
             f"(have: {', '.join(DESYNC_ENGINES)})")
+    perturbed = delay_model is not None and not delay_model.is_identity
     reason: str | None = None
     if engine == "replay":
-        reason = check_schedule_replayable(result.desync_netlist)
+        if perturbed:
+            reason = "delay-model active (replay assumes nominal delays)"
+        else:
+            reason = check_schedule_replayable(result.desync_netlist)
     masters = _masters(result)
     streams: list[dict[str, list[Value]]] = []
     engines: list[tuple[str, str | None]] = []
 
-    def scalar_block(block, why: str | None) -> None:
-        fallen_back = engine == "replay"
+    def scalar_block(block, why: str | None,
+                     fallen_back: bool) -> None:
         with TRACER.span("equiv:desync-block", engine="scalar",
                          lanes=len(block), fallback_reason=why):
             for stimulus in block:
                 streams.append(desync_streams(result, cycles,
                                               inputs_per_cycle=stimulus,
-                                              backend=backend))
+                                              backend=backend,
+                                              delay_model=delay_model))
                 engines.append(("scalar", why))
         if fallen_back:
+            METRICS.counter("sim.replay.fallbacks").inc()
             METRICS.counter("equiv.blocks.scalar_fallback").inc()
             METRICS.counter("equiv.seeds.scalar_fallback").inc(len(block))
 
     for start in range(0, len(stimuli), lanes):
         block = stimuli[start:start + lanes]
         if engine != "replay" or reason is not None:
-            scalar_block(block, reason)
+            scalar_block(block, reason,
+                         fallen_back=(engine == "replay" and not perturbed))
             continue
         try:
             with TRACER.span("equiv:desync-block", engine="replay",
@@ -356,7 +390,7 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
             # The lane-0 replay check failed: the settlement semantics
             # did not hold on this run (e.g. data in flight at a capture
             # under a violated hold assumption).  Fall back, loudly.
-            scalar_block(block, str(exc))
+            scalar_block(block, str(exc), fallen_back=True)
             continue
         METRICS.counter("equiv.blocks.replay").inc()
         for lane in range(len(block)):
@@ -372,6 +406,9 @@ def check_flow_equivalence(result: DesyncResult | FlowContext,
                            inputs: dict[str, Value] | None = None,
                            inputs_per_cycle: list[dict[str, Value]] | None = None,
                            backend: str = DEFAULT_BACKEND,
+                           delay_model=None,
+                           arm=None,
+                           time_limit: float | None = None,
                            ) -> FlowEquivalenceReport:
     """Compare the two circuits over ``cycles`` register captures.
 
@@ -381,6 +418,15 @@ def check_flow_equivalence(result: DesyncResult | FlowContext,
     ``inputs_per_cycle`` overlays a varying stimulus, vector k landing
     in cycle k on both sides.  ``backend`` selects the event-driven
     engine that runs the de-synchronized fabric.
+
+    ``delay_model`` and ``arm`` perturb the *de-synchronized* side only
+    (the synchronous reference defines what the streams must be): the
+    former rescales per-instance delays, the latter injects faults into
+    the constructed fabric simulator before the run.  An injected fault
+    is **detected** when this check reports non-equivalence, localizing
+    it to register and cycle, or when the fabric stalls
+    (:class:`FlowEquivalenceError`) — a silent pass means the fault was
+    masked.
     """
     if inputs_per_cycle is not None and len(inputs_per_cycle) < cycles:
         raise FlowEquivalenceError(
@@ -392,7 +438,8 @@ def check_flow_equivalence(result: DesyncResult | FlowContext,
                                  inputs_per_cycle=inputs_per_cycle)
         desync = desync_streams(result, cycles, inputs=inputs,
                                 inputs_per_cycle=inputs_per_cycle,
-                                backend=backend)
+                                backend=backend, delay_model=delay_model,
+                                arm=arm, time_limit=time_limit)
         report = compare_streams(sync, desync, cycles)
         span.set(equivalent=report.equivalent)
     return report
@@ -427,6 +474,7 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
                                  backend: str = DEFAULT_BACKEND,
                                  lanes: int = VECTOR_LANES,
                                  desync_engine: str = "replay",
+                                 delay_model=None,
                                  ) -> dict[int, FlowEquivalenceReport]:
     """Flow-equivalence sweep over N seeded random stimuli, batched on
     **both** sides.
@@ -439,8 +487,11 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
     one scalar recording plus one lane-parallel replay per block —
     falling back to per-seed event simulation, with the reason recorded
     on the reports, when the fabric fails the data-independence proof.
-    ``desync_engine="scalar"`` forces the per-seed path.  Returns a
-    report per seed, in ``seeds`` order.
+    ``desync_engine="scalar"`` forces the per-seed path.  A non-identity
+    ``delay_model`` perturbs the de-synchronized side (the reference is
+    the specification and stays nominal) and forces scalar simulation —
+    recorded per report, not counted as a fallback.  Returns a report
+    per seed, in ``seeds`` order.
     """
     from repro.testing.stimulus import random_stimulus
     seeds = list(seeds)
@@ -456,7 +507,7 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
                                                stimuli, lanes=lanes)
         desync_list, engines = desync_streams_batch(
             result, cycles, stimuli, backend=backend, lanes=lanes,
-            engine=desync_engine)
+            engine=desync_engine, delay_model=delay_model)
         reports: dict[int, FlowEquivalenceReport] = {}
         for seed, sync, desync, (engine, reason) in zip(
                 seeds, sync_streams, desync_list, engines):

@@ -1,0 +1,57 @@
+"""Fault-injection campaigns and the crash-safe sweep executor.
+
+Three layers (see the module docstrings for the full story):
+
+* :mod:`repro.faults.executor` — :func:`run_cells`, the hardened
+  process-pool loop with per-cell timeouts, crash recovery, bounded
+  retry, quarantine and a resumable JSONL checkpoint;
+* :mod:`repro.faults.inject` — stuck-at / glitch injection on the
+  handshake controller nets, detected through the flow-equivalence
+  checker;
+* :mod:`repro.faults.campaign` — the ``(config x perturbation x seed)``
+  campaign driver emitting the ``BENCH_faults`` envelope.
+
+Run a campaign from the command line with ``python -m repro.faults``.
+"""
+
+from repro.faults.campaign import (
+    CAMPAIGN_COLUMNS,
+    CampaignReport,
+    CampaignSpec,
+    campaign_cells,
+    run_campaign,
+)
+from repro.faults.executor import (
+    CELL_RETRIES_ENV,
+    CELL_TIMEOUT_ENV,
+    CellOutcome,
+    ExecutorPolicy,
+    ExecutorStats,
+    cell_retries,
+    cell_timeout,
+    load_checkpoint,
+    run_cells,
+)
+from repro.faults.inject import (
+    CONTROL_PREFIXES,
+    FAULT_KINDS,
+    GLITCH_PREFIXES,
+    FaultSite,
+    arm_glitch,
+    arm_stuck,
+    control_nets,
+    glitch_trials,
+    profile_net,
+    run_detection,
+    sample_control_nets,
+)
+
+__all__ = [
+    "CAMPAIGN_COLUMNS", "CELL_RETRIES_ENV", "CELL_TIMEOUT_ENV",
+    "CONTROL_PREFIXES", "CampaignReport", "CampaignSpec", "CellOutcome",
+    "ExecutorPolicy", "ExecutorStats", "FAULT_KINDS", "FaultSite",
+    "GLITCH_PREFIXES", "arm_glitch", "arm_stuck", "campaign_cells",
+    "cell_retries", "cell_timeout", "control_nets", "glitch_trials",
+    "load_checkpoint", "profile_net", "run_campaign", "run_cells",
+    "run_detection", "sample_control_nets",
+]

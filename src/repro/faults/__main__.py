@@ -1,0 +1,113 @@
+"""Command-line fault-injection campaign driver.
+
+Runs :func:`repro.faults.run_campaign` over a corpus tier (or an
+explicit config list) and writes the ``BENCH_faults`` envelope — the
+same ``repro-bench/2`` JSON shape as the other benchmarks, so
+``benchmarks/check_envelopes.py`` validates and compares it.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.faults --tier core \
+        --out benchmarks/out/BENCH_faults.json
+
+    # interruptible + resumable
+    PYTHONPATH=src python -m repro.faults --configs pipe4x1 counter6 \
+        --checkpoint /tmp/faults.jsonl
+    PYTHONPATH=src python -m repro.faults --configs pipe4x1 counter6 \
+        --checkpoint /tmp/faults.jsonl --resume
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.corpus import names
+from repro.faults.campaign import CampaignSpec, run_campaign
+from repro.obs.metrics import METRICS
+from repro.report import TextTable, write_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="delay-fault injection campaign over the corpus")
+    parser.add_argument("--configs", nargs="+", metavar="NAME",
+                        help="explicit corpus configs (default: --tier)")
+    parser.add_argument("--tier", default="core",
+                        help="corpus tier when --configs is absent "
+                             "(core, scale, all; default: core)")
+    parser.add_argument("--seeds", nargs="+", type=int, default=[0],
+                        metavar="N", help="stimulus seeds (default: 0)")
+    parser.add_argument("--cycles", type=int, default=8,
+                        help="register captures compared per cell")
+    parser.add_argument("--scales", nargs="+", type=float,
+                        default=[1.0 / 3.0, 3.0], metavar="F",
+                        help="uniform delay scaling factors")
+    parser.add_argument("--fault-sites", type=int, default=4,
+                        help="controller nets faulted per config")
+    parser.add_argument("--margin-configs", nargs="*", metavar="NAME",
+                        help="configs to bisect margin cliffs on "
+                             "(default: first config)")
+    parser.add_argument("--margin-steps", type=int, default=6,
+                        help="bisection steps per margin cell")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-cell seconds "
+                             "(default: REPRO_CELL_TIMEOUT)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="per-cell retries "
+                             "(default: REPRO_CELL_RETRIES)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="JSONL checkpoint for --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already in --checkpoint")
+    parser.add_argument("--out", metavar="PATH",
+                        default="benchmarks/out/BENCH_faults.json",
+                        help="envelope path (a .txt table is written "
+                             "next to it)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configs = tuple(args.configs) if args.configs else tuple(names(args.tier))
+    spec = CampaignSpec(
+        configs=configs, seeds=tuple(args.seeds), cycles=args.cycles,
+        scales=tuple(args.scales), max_fault_sites=args.fault_sites,
+        margin_configs=(tuple(args.margin_configs)
+                        if args.margin_configs is not None else None),
+        margin_steps=args.margin_steps)
+
+    METRICS.reset()  # the envelope's metrics block is this run's alone
+    report = run_campaign(spec, jobs=args.jobs,
+                          checkpoint=args.checkpoint, resume=args.resume,
+                          timeout=args.timeout, retries=args.retries)
+
+    table = TextTable("BENCH faults - delay/fault campaign",
+                      report.columns)
+    for row in report.rows:
+        table.add_row(*(("-" if cell is None else
+                         f"{cell:.3f}" if isinstance(cell, float) else cell)
+                        for cell in row))
+    table.print()
+    print(json.dumps(report.summary, indent=2))
+
+    write_json(args.out, report.columns, report.rows,
+               metrics=METRICS.snapshot())
+    txt = args.out[:-5] + ".txt" if args.out.endswith(".json") \
+        else args.out + ".txt"
+    with open(txt, "w") as handle:
+        handle.write(table.render() + "\n\n"
+                     + json.dumps(report.summary, indent=2) + "\n")
+
+    if report.quarantined:
+        print(f"quarantined cells: {', '.join(report.quarantined)}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

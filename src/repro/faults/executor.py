@@ -1,0 +1,387 @@
+"""Crash-safe, resumable parallel cell executor.
+
+The sweep and campaign drivers fan hundreds of independent cells over a
+process pool.  A plain ``pool.map`` dies with the first hung worker,
+loses every in-flight result on a crash, and restarts a 984-cell run
+from zero after an interrupt.  :func:`run_cells` hardens that loop:
+
+* **per-cell wall-clock timeout** (:data:`CELL_TIMEOUT_ENV`): an expired
+  cell's worker processes are killed outright — the only reliable way to
+  stop a wedged simulation — the pool is rebuilt, and the innocent
+  in-flight cells are resubmitted without being charged an attempt;
+* **worker-crash recovery**: a :class:`BrokenProcessPool` (segfault,
+  OOM-kill, ``os._exit``) poisons every in-flight future without naming
+  the guilty cell, so each in-flight cell is charged one attempt, the
+  pool is rebuilt, and everything is retried;
+* **bounded retry with exponential backoff**: a failing cell is requeued
+  ``retries`` times, waiting ``backoff * 2**(attempt-1)`` seconds before
+  each rerun;
+* **quarantine**: a cell that exhausts its retries lands in the outcome
+  map with status ``"quarantined"`` and the last error — reported,
+  never silently dropped;
+* **JSONL checkpoint**: every completed cell is appended (flushed and
+  fsynced) to a checkpoint file, so an interrupted run restarted with
+  ``resume=True`` skips exactly the finished cells.  A torn final line
+  (the interrupt landed mid-write) is tolerated and re-run.
+
+Everything is surfaced: tracer spans per run, ``<prefix>.*`` metrics
+counters (timeouts, crashes, retries, quarantined, resumed), and an
+:class:`ExecutorStats` summary.
+
+This module deliberately imports only the standard library and
+:mod:`repro.obs` so that :mod:`repro.desync.pipeline` can use it without
+an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
+from repro.utils.errors import ExecutorError
+
+#: Environment knob: per-cell wall-clock budget in seconds.  Unset,
+#: empty, or ``<= 0`` means no timeout.
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+
+#: Environment knob: per-cell retry budget (attempts beyond the first).
+CELL_RETRIES_ENV = "REPRO_CELL_RETRIES"
+
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF = 0.25
+
+_STAT_COUNTERS = ("timeouts", "crashes", "retries", "quarantined",
+                  "resumed", "completed")
+
+
+def cell_timeout(default: float | None = None) -> float | None:
+    """Per-cell timeout in seconds from :data:`CELL_TIMEOUT_ENV`."""
+    raw = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ExecutorError(
+            f"{CELL_TIMEOUT_ENV}={raw!r} is not a number of seconds"
+        ) from None
+    return value if value > 0 else None
+
+
+def cell_retries(default: int = DEFAULT_RETRIES) -> int:
+    """Per-cell retry budget from :data:`CELL_RETRIES_ENV`."""
+    raw = os.environ.get(CELL_RETRIES_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ExecutorError(
+            f"{CELL_RETRIES_ENV}={raw!r} is not an integer") from None
+    if value < 0:
+        raise ExecutorError(f"{CELL_RETRIES_ENV} must be >= 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """How :func:`run_cells` schedules, retries and checkpoints.
+
+    Attributes:
+        jobs: worker process count (>= 1).
+        timeout: per-cell wall-clock budget in seconds; ``None`` waits
+            forever.
+        retries: reruns granted to a failing cell before quarantine.
+        backoff: base of the exponential retry delay in seconds.
+        checkpoint: JSONL path appended per completed cell (values must
+            be JSON-serializable); ``None`` disables checkpointing.
+        resume: load ``checkpoint`` first and skip its completed cells.
+        poll: scheduler wake-up period in seconds (timeout granularity).
+    """
+
+    jobs: int = 2
+    timeout: float | None = None
+    retries: int = DEFAULT_RETRIES
+    backoff: float = DEFAULT_BACKOFF
+    checkpoint: str | None = None
+    resume: bool = False
+    poll: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ExecutorError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ExecutorError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ExecutorError(
+                f"timeout must be positive seconds or None, "
+                f"got {self.timeout}")
+        if self.resume and not self.checkpoint:
+            raise ExecutorError("resume=True requires a checkpoint path")
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one cell.
+
+    ``status`` is ``"ok"`` (``value`` holds the worker's return) or
+    ``"quarantined"`` (``error`` holds the last failure; the cell used
+    up every retry).  ``attempts`` counts executions charged to the
+    cell; ``from_checkpoint`` marks results restored by ``resume``.
+    """
+
+    key: str
+    status: str
+    value: Any = None
+    attempts: int = 1
+    error: str | None = None
+    from_checkpoint: bool = False
+
+
+@dataclass
+class ExecutorStats:
+    """Aggregate accounting of one :func:`run_cells` invocation."""
+
+    completed: int = 0
+    resumed: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0
+    quarantined: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"completed": self.completed, "resumed": self.resumed,
+                "timeouts": self.timeouts, "crashes": self.crashes,
+                "retries": self.retries,
+                "quarantined": list(self.quarantined)}
+
+
+def load_checkpoint(path: str) -> dict[str, CellOutcome]:
+    """Completed ``"ok"`` outcomes from a JSONL checkpoint.
+
+    Tolerates a torn final line (a kill can land mid-append): parsing
+    stops at the first undecodable line and everything after it is
+    treated as not yet run.  Quarantined lines are *not* restored — a
+    resumed run gets a fresh chance at them.
+    """
+    outcomes: dict[str, CellOutcome] = {}
+    if not os.path.exists(path):
+        return outcomes
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if not isinstance(entry, dict) or "key" not in entry:
+                break
+            if entry.get("status") != "ok":
+                continue
+            outcomes[entry["key"]] = CellOutcome(
+                key=entry["key"], status="ok", value=entry.get("value"),
+                attempts=int(entry.get("attempts", 1)),
+                from_checkpoint=True)
+    return outcomes
+
+
+@dataclass
+class _Pending:
+    key: str
+    payload: Any
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+def run_cells(tasks: list[tuple[str, Any]],
+              worker: Callable[[Any], Any],
+              policy: ExecutorPolicy,
+              initializer: Callable | None = None,
+              initargs: tuple = (),
+              metric_prefix: str = "executor",
+              ) -> tuple[dict[str, CellOutcome], ExecutorStats]:
+    """Run ``worker(payload)`` for every ``(key, payload)`` cell.
+
+    Returns ``(outcomes, stats)``: one :class:`CellOutcome` per task
+    key — every key is present, quarantined cells included — plus the
+    aggregate :class:`ExecutorStats`.  ``worker`` must be picklable
+    (module-level) and payloads/results JSON-serializable when
+    checkpointing is on.  ``initializer``/``initargs`` forward to the
+    process pool (worker-side tracer/memo setup).
+    """
+    keys = [key for key, _ in tasks]
+    if len(set(keys)) != len(keys):
+        raise ExecutorError("duplicate cell keys in task list")
+    for name in _STAT_COUNTERS:
+        METRICS.counter(f"{metric_prefix}.{name}").inc(0)
+
+    outcomes: dict[str, CellOutcome] = {}
+    stats = ExecutorStats()
+    if policy.checkpoint and policy.resume:
+        restored = load_checkpoint(policy.checkpoint)
+        for key, _ in tasks:
+            if key in restored:
+                outcomes[key] = restored[key]
+        stats.resumed = len(outcomes)
+        METRICS.counter(f"{metric_prefix}.resumed").inc(len(outcomes))
+
+    queue: deque[_Pending] = deque(
+        _Pending(key, payload) for key, payload in tasks
+        if key not in outcomes)
+
+    ckpt = None
+    if policy.checkpoint:
+        os.makedirs(os.path.dirname(policy.checkpoint) or ".",
+                    exist_ok=True)
+        mode = "a" if policy.resume else "w"
+        ckpt = open(policy.checkpoint, mode, encoding="utf-8")
+
+    def record(outcome: CellOutcome) -> None:
+        outcomes[outcome.key] = outcome
+        if ckpt is not None:
+            ckpt.write(json.dumps(
+                {"key": outcome.key, "status": outcome.status,
+                 "value": outcome.value, "attempts": outcome.attempts,
+                 "error": outcome.error}) + "\n")
+            ckpt.flush()
+            os.fsync(ckpt.fileno())
+        if outcome.status == "ok":
+            stats.completed += 1
+            METRICS.counter(f"{metric_prefix}.completed").inc()
+        else:
+            stats.quarantined.append(outcome.key)
+            METRICS.counter(f"{metric_prefix}.quarantined").inc()
+            TRACER.instant("executor:quarantine", key=outcome.key,
+                           error=outcome.error or "")
+
+    def fail(entry: _Pending, error: str) -> None:
+        if entry.attempt > policy.retries:
+            record(CellOutcome(key=entry.key, status="quarantined",
+                               attempts=entry.attempt, error=error))
+            return
+        stats.retries += 1
+        METRICS.counter(f"{metric_prefix}.retries").inc()
+        delay = policy.backoff * (2 ** (entry.attempt - 1))
+        queue.append(_Pending(entry.key, entry.payload,
+                              attempt=entry.attempt + 1,
+                              not_before=time.monotonic() + delay))
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=policy.jobs, mp_context=get_context("fork"),
+            initializer=initializer, initargs=initargs)
+
+    with TRACER.span("executor:run", cells=len(tasks), jobs=policy.jobs,
+                     resumed=stats.resumed,
+                     timeout=policy.timeout or 0.0):
+        pool = make_pool()
+        # future -> (pending entry, wall-clock deadline or None)
+        inflight: dict[Any, tuple[_Pending, float | None]] = {}
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                ready = len([e for e in queue if e.not_before <= now])
+                while ready and len(inflight) < policy.jobs:
+                    entry = queue.popleft()
+                    if entry.not_before > now:
+                        queue.append(entry)  # rotate past backing-off cells
+                        continue
+                    ready -= 1
+                    deadline = (now + policy.timeout
+                                if policy.timeout is not None else None)
+                    try:
+                        future = pool.submit(worker, entry.payload)
+                    except BrokenProcessPool:
+                        # Pool already poisoned by an earlier crash that
+                        # surfaced out of order: rebuild and resubmit.
+                        queue.appendleft(entry)
+                        pool = make_pool()
+                        break
+                    inflight[future] = (entry, deadline)
+                if not inflight:
+                    time.sleep(policy.poll)
+                    continue
+
+                done, _ = wait(set(inflight), timeout=policy.poll,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    entry, _ = inflight.pop(future)
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        fail(entry, "worker process crashed")
+                    except Exception as exc:  # worker raised: a real error
+                        fail(entry, f"{type(exc).__name__}: {exc}")
+                    else:
+                        record(CellOutcome(key=entry.key, status="ok",
+                                           value=value,
+                                           attempts=entry.attempt))
+                if broken:
+                    # The pool is poisoned and the guilty cell cannot be
+                    # told apart from the bystanders, so every in-flight
+                    # cell is charged one attempt and retried.
+                    stats.crashes += 1
+                    METRICS.counter(f"{metric_prefix}.crashes").inc()
+                    TRACER.instant("executor:pool-crash",
+                                   inflight=len(inflight))
+                    for future, (entry, _) in list(inflight.items()):
+                        fail(entry, "worker process crashed (pool broken)")
+                    inflight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = make_pool()
+                    continue
+
+                now = time.monotonic()
+                expired = [future
+                           for future, (_, deadline) in inflight.items()
+                           if deadline is not None and now > deadline
+                           and not future.done()]
+                if expired:
+                    # Killing the workers is the only way to stop a
+                    # wedged cell, and it takes the whole pool with it:
+                    # charge only the expired cells, resubmit the
+                    # bystanders attempt-intact on a fresh pool.
+                    for future in expired:
+                        entry, _ = inflight.pop(future)
+                        stats.timeouts += 1
+                        METRICS.counter(f"{metric_prefix}.timeouts").inc()
+                        TRACER.instant("executor:timeout", key=entry.key,
+                                       attempt=entry.attempt)
+                        fail(entry, f"timed out after {policy.timeout:.3g}s"
+                                    f" (attempt {entry.attempt})")
+                    for future, (entry, _) in list(inflight.items()):
+                        if not future.done():
+                            queue.appendleft(entry)
+                        else:
+                            # Completed in the race window: keep it.
+                            try:
+                                value = future.result()
+                            except Exception as exc:
+                                fail(entry, f"{type(exc).__name__}: {exc}")
+                            else:
+                                record(CellOutcome(
+                                    key=entry.key, status="ok", value=value,
+                                    attempts=entry.attempt))
+                    inflight.clear()
+                    for process in list(pool._processes.values()):
+                        process.kill()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = make_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+            if ckpt is not None:
+                ckpt.close()
+    return outcomes, stats

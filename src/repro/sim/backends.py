@@ -81,7 +81,9 @@ def make_simulator(netlist: Netlist, backend: str = DEFAULT_BACKEND,
     """Instantiate the event-driven engine called ``backend``.
 
     ``kwargs`` are forwarded to the engine constructor (``record``,
-    ``record_all``, ``record_energy``, ``initial_inputs``).  Raises
+    ``record_all``, ``record_energy``, ``initial_inputs``, and
+    ``delay_model`` — a :class:`repro.timing.DelayModel` perturbing
+    per-instance delays, honoured identically by both engines).  Raises
     :class:`SimulationError` for an unknown backend name.
     """
     try:

@@ -44,6 +44,7 @@ from repro.netlist.cells import (
 )
 from repro.netlist.core import Instance, Netlist
 from repro.obs.trace import TRACER as _TRACER
+from repro.sim.events import resolve_delays
 from repro.sim.logic import Value
 from repro.sim.simulator import Capture, SimStats
 from repro.utils.errors import SimulationError
@@ -60,10 +61,11 @@ _STATEFUL_KINDS = (CellKind.CELEMENT, CellKind.ACK, CellKind.REQ,
 # it for edge detection), ``now`` the current simulation time.  All
 # state the closure touches — the value list, the heap, the sequence
 # counter, the instance's stored-state cell — is captured by reference.
+# ``delay`` arrives pre-resolved (nominal ``cell.delay`` or the delay
+# model's perturbed value) so the closures stay model-agnostic.
 # ----------------------------------------------------------------------
 
-def _comb_eval(vals, heap, seq, cell, in_slots, out_slot):
-    delay = cell.delay
+def _comb_eval(vals, heap, seq, cell, delay, in_slots, out_slot):
     tt = cell.tt
     heappush = heapq.heappush
     if len(in_slots) == 1:
@@ -110,8 +112,7 @@ def _comb_eval(vals, heap, seq, cell, in_slots, out_slot):
     return ev
 
 
-def _celement_eval(vals, heap, seq, state, i, cell, in_slots, out_slot):
-    delay = cell.delay
+def _celement_eval(vals, heap, seq, state, i, delay, in_slots, out_slot):
     heappush = heapq.heappush
     slots = tuple(in_slots)
 
@@ -136,9 +137,8 @@ def _celement_eval(vals, heap, seq, state, i, cell, in_slots, out_slot):
     return ev
 
 
-def _ack_eval(vals, heap, seq, state, i, cell, p_slot, r_slot, s_slot,
+def _ack_eval(vals, heap, seq, state, i, delay, p_slot, r_slot, s_slot,
               out_slot):
-    delay = cell.delay
     heappush = heapq.heappush
 
     def ev(old, now):
@@ -155,8 +155,7 @@ def _ack_eval(vals, heap, seq, state, i, cell, p_slot, r_slot, s_slot,
     return ev
 
 
-def _req_eval(vals, heap, seq, state, i, cell, r_slot, g_slot, out_slot):
-    delay = cell.delay
+def _req_eval(vals, heap, seq, state, i, delay, r_slot, g_slot, out_slot):
     heappush = heapq.heappush
 
     def ev(old, now):
@@ -173,8 +172,7 @@ def _req_eval(vals, heap, seq, state, i, cell, r_slot, g_slot, out_slot):
     return ev
 
 
-def _asym_eval(vals, heap, seq, state, i, cell, r_slot, a_slot, out_slot):
-    delay = cell.delay
+def _asym_eval(vals, heap, seq, state, i, delay, r_slot, a_slot, out_slot):
     heappush = heapq.heappush
 
     def ev(old, now):
@@ -191,9 +189,8 @@ def _asym_eval(vals, heap, seq, state, i, cell, r_slot, a_slot, out_slot):
     return ev
 
 
-def _dff_clock_eval(vals, heap, seq, state, i, caps, name, cell,
+def _dff_clock_eval(vals, heap, seq, state, i, caps, name, delay,
                     d_slot, ck_slot, rn_slot, out_slot):
-    delay = cell.delay
     heappush = heapq.heappush
     if rn_slot < 0:
         # No asynchronous reset (the common flip-flop): the clock-pin
@@ -230,9 +227,8 @@ def _dff_clock_eval(vals, heap, seq, state, i, caps, name, cell,
     return ev
 
 
-def _seq_reset_eval(vals, heap, seq, state, i, cell, rn_slot, out_slot):
+def _seq_reset_eval(vals, heap, seq, state, i, delay, rn_slot, out_slot):
     """A DFF data/reset pin changed: only the asynchronous clear can act."""
-    delay = cell.delay
     heappush = heapq.heappush
 
     def ev(old, now):
@@ -242,9 +238,8 @@ def _seq_reset_eval(vals, heap, seq, state, i, cell, rn_slot, out_slot):
     return ev
 
 
-def _latch_clock_eval(vals, heap, seq, state, i, caps, name, cell,
+def _latch_clock_eval(vals, heap, seq, state, i, caps, name, delay,
                       transparent, d_slot, en_slot, rn_slot, out_slot):
-    delay = cell.delay
     heappush = heapq.heappush
     if rn_slot < 0:
         # No asynchronous reset (every latch the desync flow builds):
@@ -302,9 +297,8 @@ def _latch_clock_eval(vals, heap, seq, state, i, caps, name, cell,
     return ev
 
 
-def _latch_data_eval(vals, heap, seq, state, i, cell, transparent,
+def _latch_data_eval(vals, heap, seq, state, i, delay, transparent,
                      d_slot, en_slot, rn_slot, out_slot):
-    delay = cell.delay
     heappush = heapq.heappush
     if rn_slot < 0:
         def ev(old, now):
@@ -343,12 +337,17 @@ class CompiledSimulator:
         record_energy: append ``(time, energy fJ)`` per real transition.
         initial_inputs: input-port values present during reset (settle
             at t = 0 with no events and no toggles).
+        delay_model: optional per-instance delay perturbation
+            (:class:`repro.timing.DelayModel`); resolved once here, so
+            the compiled closures bind the perturbed delays directly.
     """
 
     def __init__(self, netlist: Netlist, record: list[str] | None = None,
                  record_all: bool = False, record_energy: bool = False,
-                 initial_inputs: dict[str, Value] | None = None):
+                 initial_inputs: dict[str, Value] | None = None,
+                 delay_model=None):
         self.netlist = netlist
+        self._delays = resolve_delays(netlist, delay_model)
         self.now = 0.0
         self.n_events = 0
         self.energy_events: list[tuple[float, float]] = []
@@ -412,6 +411,11 @@ class CompiledSimulator:
         """Build the per-pin closures and resolve sink lists to slots."""
         vals, heap, seq = self._vals, self._heap, self._seq
         state, state_idx = self._state, self._state_idx
+        delays = self._delays
+
+        def resolved_delay(inst: Instance) -> float:
+            return delays[inst.name] if delays is not None \
+                else inst.cell.delay
         # Pin-independent eval per instance; kept on self because the
         # reset settle kicks the state-holding cells through it.
         shared = self._shared_evals = {}
@@ -424,28 +428,30 @@ class CompiledSimulator:
             if kind is CellKind.COMB:
                 in_slots = [self._pin_slot(inst, p) for p in cell.inputs]
                 shared[inst.name] = _comb_eval(vals, heap, seq, cell,
+                                               resolved_delay(inst),
                                                in_slots, out_slot)
             elif kind is CellKind.CELEMENT:
                 i = state_idx[inst.name]
                 in_slots = [self._pin_slot(inst, p) for p in cell.inputs]
-                shared[inst.name] = _celement_eval(vals, heap, seq, state, i,
-                                                   cell, in_slots, out_slot)
+                shared[inst.name] = _celement_eval(
+                    vals, heap, seq, state, i, resolved_delay(inst),
+                    in_slots, out_slot)
             elif kind is CellKind.ACK:
                 i = state_idx[inst.name]
                 shared[inst.name] = _ack_eval(
-                    vals, heap, seq, state, i, cell,
+                    vals, heap, seq, state, i, resolved_delay(inst),
                     self._pin_slot(inst, "P"), self._pin_slot(inst, "R"),
                     self._pin_slot(inst, "S"), out_slot)
             elif kind is CellKind.REQ:
                 i = state_idx[inst.name]
                 shared[inst.name] = _req_eval(
-                    vals, heap, seq, state, i, cell,
+                    vals, heap, seq, state, i, resolved_delay(inst),
                     self._pin_slot(inst, "R"), self._pin_slot(inst, "G"),
                     out_slot)
             elif kind is CellKind.ASYM:
                 i = state_idx[inst.name]
                 shared[inst.name] = _asym_eval(
-                    vals, heap, seq, state, i, cell,
+                    vals, heap, seq, state, i, resolved_delay(inst),
                     self._pin_slot(inst, "R"), self._pin_slot(inst, "A"),
                     out_slot)
             elif kind is CellKind.DFF:
@@ -454,11 +460,12 @@ class CompiledSimulator:
                            if PIN_RESET_N in cell.inputs else -1)
                 clock_fns[inst.name] = _dff_clock_eval(
                     vals, heap, seq, state, i, self._caps[inst.name],
-                    inst.name, cell, self._pin_slot(inst, PIN_D),
+                    inst.name, resolved_delay(inst),
+                    self._pin_slot(inst, PIN_D),
                     self._pin_slot(inst, cell.clock_pin), rn_slot, out_slot)
                 data_fns[inst.name] = (
-                    _seq_reset_eval(vals, heap, seq, state, i, cell,
-                                    rn_slot, out_slot)
+                    _seq_reset_eval(vals, heap, seq, state, i,
+                                    resolved_delay(inst), rn_slot, out_slot)
                     if rn_slot >= 0 else None)
             elif kind in (CellKind.LATCH_HIGH, CellKind.LATCH_LOW):
                 i = state_idx[inst.name]
@@ -469,11 +476,11 @@ class CompiledSimulator:
                 en_slot = self._pin_slot(inst, PIN_ENABLE)
                 clock_fns[inst.name] = _latch_clock_eval(
                     vals, heap, seq, state, i, self._caps[inst.name],
-                    inst.name, cell, transparent, d_slot, en_slot, rn_slot,
-                    out_slot)
-                data_fns[inst.name] = _latch_data_eval(
-                    vals, heap, seq, state, i, cell, transparent, d_slot,
+                    inst.name, resolved_delay(inst), transparent, d_slot,
                     en_slot, rn_slot, out_slot)
+                data_fns[inst.name] = _latch_data_eval(
+                    vals, heap, seq, state, i, resolved_delay(inst),
+                    transparent, d_slot, en_slot, rn_slot, out_slot)
             # TIE cells have no input pins and never re-evaluate.
 
         sinks: list[tuple] = []
@@ -532,9 +539,12 @@ class CompiledSimulator:
                     i = state_idx[inst.name]
                     if data != state[i]:
                         state[i] = data
+                        kick_delay = (self._delays[inst.name]
+                                      if self._delays is not None
+                                      else inst.cell.delay)
                         heapq.heappush(
                             heap,
-                            (inst.cell.delay, next(seq),
+                            (kick_delay, next(seq),
                              slot_of[inst.output_net().name], data))
 
     # ------------------------------------------------------------------

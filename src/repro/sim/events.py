@@ -41,3 +41,19 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self.heap)
+
+
+def resolve_delays(netlist: Any, delay_model: Any) -> dict[str, float] | None:
+    """Materialize a delay model as a per-instance delay map.
+
+    Returns ``{instance name: perturbed delay}`` covering every instance
+    in ``netlist``, or ``None`` when ``delay_model`` is absent or the
+    identity — the simulators then read ``cell.delay`` directly, keeping
+    the nominal path untouched.  ``delay_model`` is duck-typed (needs
+    ``is_identity`` and ``factor(name)``) so this module stays free of a
+    :mod:`repro.timing` import.
+    """
+    if delay_model is None or delay_model.is_identity:
+        return None
+    return {inst.name: inst.cell.delay * delay_model.factor(inst.name)
+            for inst in netlist.instances.values()}

@@ -37,9 +37,19 @@ from repro.netlist.cells import (
 )
 from repro.netlist.core import Instance, Net, Netlist
 from repro.obs.trace import TRACER as _TRACER
-from repro.sim.events import EventQueue
+from repro.sim.events import EventQueue, resolve_delays
 from repro.sim.logic import Value, is_falling, is_rising
 from repro.utils.errors import SimulationError
+
+#: Sentinel "net name" marking a control event on the queue: its payload
+#: partner is a zero-argument callable (force/release/glitch application)
+#: run when the event matures, time-ordered with the value events.
+_CONTROL = object()
+
+#: Default ``value`` of :meth:`EventSimulator.inject_glitch`: pulse to
+#: the inverse of the net's value at injection time (``None`` is the X
+#: value, so it cannot double as the default).
+INVERT = object()
 
 
 @dataclass
@@ -71,13 +81,23 @@ class EventSimulator:
 
     def __init__(self, netlist: Netlist, record: list[str] | None = None,
                  record_all: bool = False, record_energy: bool = False,
-                 initial_inputs: dict[str, Value] | None = None):
+                 initial_inputs: dict[str, Value] | None = None,
+                 delay_model=None):
         """``initial_inputs`` are input-port values present *during reset*:
         they participate in the t = 0 settle (no events, no toggles), as
         if the environment had been driving them while the circuit sat in
         reset — required when self-timed logic starts switching within a
-        few gate delays of release."""
+        few gate delays of release.
+
+        ``delay_model`` (a :class:`repro.timing.DelayModel`, or anything
+        with ``is_identity``/``factor``) perturbs per-instance
+        propagation delays; ``None`` keeps nominal ``cell.delay``."""
         self.netlist = netlist
+        # Per-instance perturbed delays, or None for the nominal path.
+        self._delays = resolve_delays(netlist, delay_model)
+        # Fault-injection overrides: forced nets ignore driver events
+        # until released.
+        self._forced: dict[str, Value] = {}
         self.now = 0.0
         self.values: dict[str, Value] = {name: None for name in netlist.nets}
         for port, value in (initial_inputs or {}).items():
@@ -125,6 +145,61 @@ class EventSimulator:
             time += half
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def force_net(self, net: str, value: Value,
+                  time: float | None = None) -> None:
+        """Stuck-at fault: pin ``net`` to ``value`` from ``time`` on.
+
+        While forced, driver events targeting the net are dropped; the
+        forced transition itself propagates to sinks like any event.
+        """
+        if net not in self.netlist.nets:
+            raise SimulationError(f"cannot force unknown net {net}")
+        when = self.now if time is None else time
+        self._queue.push(when,
+                         (_CONTROL, lambda: self._apply_force(net, value)))
+
+    def release_net(self, net: str, time: float | None = None) -> None:
+        """Lift a force; the driver re-asserts its value one cell delay
+        after the release matures."""
+        if net not in self.netlist.nets:
+            raise SimulationError(f"cannot release unknown net {net}")
+        when = self.now if time is None else time
+        self._queue.push(when, (_CONTROL, lambda: self._apply_release(net)))
+
+    def inject_glitch(self, net: str, at: float, duration: float,
+                      value: Value | object = INVERT) -> None:
+        """Transient fault: pulse ``net`` for ``duration`` starting at
+        ``at``.  The default :data:`INVERT` pulses to the opposite of
+        whatever the net holds at injection time (X counts as 0, so the
+        pulse is 1); pass ``None`` explicitly to drive the net to X for
+        the duration — the conservative model of an undersized or
+        near-threshold transient, whose indeterminacy then propagates
+        through the ternary gate evaluation.
+        """
+        if net not in self.netlist.nets:
+            raise SimulationError(f"cannot glitch unknown net {net}")
+        if duration <= 0:
+            raise SimulationError(f"glitch duration must be > 0, "
+                                  f"got {duration}")
+
+        def fire() -> None:
+            pulse = value
+            if pulse is INVERT:
+                pulse = 0 if self.values[net] == 1 else 1
+            self._apply_force(net, pulse)
+
+        self._queue.push(at, (_CONTROL, fire))
+        self._queue.push(at + duration,
+                         (_CONTROL, lambda: self._apply_release(net)))
+
+    @property
+    def forced_nets(self) -> dict[str, Value]:
+        """Currently active forces (net name -> pinned value)."""
+        return dict(self._forced)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, until: float) -> SimStats:
@@ -147,6 +222,7 @@ class EventSimulator:
         recorded = self._recorded
         record_all = self._record_all
         record_energy = self._record_energy
+        forced = self._forced
         n_events = self.n_events
         try:
             while heap:
@@ -158,8 +234,14 @@ class EventSimulator:
                 now = self.now
                 while True:
                     _, _, (net_name, value) = pop(heap)
+                    if net_name is _CONTROL:
+                        value()
+                        if not heap or heap[0][0] != time:
+                            break
+                        continue
                     old = values[net_name]
-                    if value != old:
+                    if value != old and (not forced
+                                         or net_name not in forced):
                         values[net_name] = value
                         n_events += 1
                         if old is not None and value is not None:
@@ -268,11 +350,49 @@ class EventSimulator:
             self._eval_latch(inst, changed_pin, old)
 
     def _schedule_output(self, inst: Instance, value: Value) -> None:
-        self._queue.push(self.now + inst.cell.delay,
-                         (inst.output_net().name, value))
+        delay = (self._delays[inst.name] if self._delays is not None
+                 else inst.cell.delay)
+        self._queue.push(self.now + delay, (inst.output_net().name, value))
 
     def _pin(self, inst: Instance, pin: str) -> Value:
         return self.values[inst.pins[pin].name]
+
+    def _apply_force(self, net: str, value: Value) -> None:
+        self._forced[net] = value
+        self._set_net(net, value)
+
+    def _apply_release(self, net: str) -> None:
+        self._forced.pop(net, None)
+        driver = self.netlist.nets[net].driver_instance()
+        if driver is None:
+            return  # input port: holds the forced value until re-driven
+        kind = driver.cell.kind
+        if kind is CellKind.COMB:
+            bits = [self._pin(driver, p) for p in driver.cell.inputs]
+            self._schedule_output(driver, driver.cell.eval_ternary(bits))
+        elif kind is CellKind.TIE:
+            self._schedule_output(driver, driver.cell.tt & 1)
+        else:
+            self._schedule_output(driver, self._state[driver.name])
+
+    def _set_net(self, net: str, value: Value) -> None:
+        """Apply a value change outside the event loop's fast path.
+
+        Mirrors the run loop's per-event bookkeeping except for
+        ``n_events`` — the loop holds that counter in a local it writes
+        back on exit, so a mid-run increment here would be clobbered.
+        Forced transitions therefore don't count as events.
+        """
+        old = self.values[net]
+        if value == old:
+            return
+        self.values[net] = value
+        if old is not None and value is not None:
+            self.toggle_counts[net] += 1
+        if self._record_all or net in self._recorded:
+            self.history[net].append((self.now, value))
+        for inst, pin in self.netlist.nets[net].sinks:
+            self._evaluate(inst, pin, old)
 
     def _eval_comb(self, inst: Instance) -> None:
         bits = [self._pin(inst, p) for p in inst.cell.inputs]

@@ -2,6 +2,7 @@
 
 from repro.timing.delays import (
     DEFAULT_MARGIN,
+    DelayModel,
     DelayPlan,
     chain_toggle_energy,
     insert_delay_line,
@@ -20,6 +21,7 @@ from repro.timing.sta import (
 
 __all__ = [
     "DEFAULT_MARGIN",
+    "DelayModel",
     "DelayPlan",
     "chain_toggle_energy",
     "insert_delay_line",

@@ -79,6 +79,14 @@ class FlowEquivalenceError(ReproError):
     """The de-synchronized circuit diverged from the synchronous one."""
 
 
+class ExecutorError(ReproError):
+    """Resilient-executor misuse or unrecoverable scheduling failure."""
+
+
+class FaultCampaignError(ReproError):
+    """Invalid fault-injection campaign specification."""
+
+
 class RtlError(ReproError):
     """Illegal word-level RTL construction (width mismatch, ...)."""
 

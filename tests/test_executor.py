@@ -1,0 +1,205 @@
+"""The crash-safe, resumable cell executor.
+
+Every hardening path of :func:`repro.faults.executor.run_cells` under
+real process-pool conditions: clean completion, worker exceptions with
+bounded retry and quarantine, hard worker crashes (``os._exit``) that
+break the pool, per-cell wall-clock timeouts that kill wedged workers
+without losing innocent bystanders, and the JSONL checkpoint whose
+cell-exact resume (torn final line included) makes an interrupted
+campaign restartable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.faults.executor import (
+    CELL_RETRIES_ENV,
+    CELL_TIMEOUT_ENV,
+    ExecutorPolicy,
+    cell_retries,
+    cell_timeout,
+    load_checkpoint,
+    run_cells,
+)
+from repro.utils.errors import ExecutorError
+
+FAST = ExecutorPolicy(jobs=2, retries=1, backoff=0.01)
+
+
+# -- module-level workers (fork pools need picklable callables) --------
+
+def double(payload):
+    return payload * 2
+
+
+def boom(payload):
+    raise ValueError(f"cell {payload} is broken")
+
+
+def fail_until_marker(payload):
+    """Fails on the first run, succeeds once its marker file exists."""
+    marker, value = payload
+    if os.path.exists(marker):
+        return value
+    with open(marker, "w"):
+        pass
+    raise RuntimeError("first attempt always fails")
+
+
+def crash_or_double(payload):
+    if payload == "crash":
+        os._exit(13)  # hard death: BrokenProcessPool, not an exception
+    return payload * 2
+
+
+def sleep_then_return(payload):
+    seconds, value = payload
+    time.sleep(seconds)
+    return value
+
+
+class TestRunCells:
+    def test_all_ok(self):
+        tasks = [(f"c{i}", i) for i in range(5)]
+        outcomes, stats = run_cells(tasks, double, FAST)
+        assert {key: o.value for key, o in outcomes.items()} == \
+            {f"c{i}": 2 * i for i in range(5)}
+        assert all(o.status == "ok" and o.attempts == 1
+                   for o in outcomes.values())
+        assert stats.completed == 5
+        assert not stats.quarantined
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ExecutorError, match="duplicate"):
+            run_cells([("a", 1), ("a", 2)], double, FAST)
+
+    def test_worker_error_quarantined_after_retries(self):
+        outcomes, stats = run_cells([("bad", 1)], boom, FAST)
+        outcome = outcomes["bad"]
+        assert outcome.status == "quarantined"
+        assert outcome.attempts == 2  # first run + one retry
+        assert "ValueError: cell 1 is broken" in outcome.error
+        assert stats.retries == 1
+        assert stats.quarantined == ["bad"]
+
+    def test_retry_then_success(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        outcomes, stats = run_cells(
+            [("flaky", (marker, 7))], fail_until_marker,
+            ExecutorPolicy(jobs=1, retries=2, backoff=0.01))
+        outcome = outcomes["flaky"]
+        assert outcome.status == "ok"
+        assert outcome.value == 7
+        assert outcome.attempts == 2
+        assert stats.retries == 1
+
+    def test_crash_breaks_pool_and_recovers(self):
+        tasks = [("crash", "crash")] + [(f"c{i}", i) for i in range(4)]
+        outcomes, stats = run_cells(
+            tasks, crash_or_double,
+            ExecutorPolicy(jobs=2, retries=1, backoff=0.01))
+        assert outcomes["crash"].status == "quarantined"
+        assert "crashed" in outcomes["crash"].error
+        assert outcomes["crash"].attempts == 2
+        for i in range(4):  # bystanders all completed despite the crash
+            assert outcomes[f"c{i}"].status == "ok"
+            assert outcomes[f"c{i}"].value == 2 * i
+        assert stats.crashes >= 1
+        assert stats.quarantined == ["crash"]
+
+    def test_timeout_kills_wedged_cell_keeps_bystander(self):
+        tasks = [("wedged", (30.0, None)), ("quick", (0.0, 5))]
+        outcomes, stats = run_cells(
+            tasks, sleep_then_return,
+            ExecutorPolicy(jobs=2, timeout=0.3, retries=1, backoff=0.01))
+        assert outcomes["quick"].status == "ok"
+        assert outcomes["quick"].value == 5
+        wedged = outcomes["wedged"]
+        assert wedged.status == "quarantined"
+        assert "timed out after 0.3s" in wedged.error
+        assert wedged.attempts == 2
+        assert stats.timeouts == 2  # both attempts expired
+
+    def test_checkpoint_written_per_cell(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        run_cells([("a", 1), ("b", 2)], double,
+                  ExecutorPolicy(jobs=1, checkpoint=path))
+        lines = [json.loads(line) for line in open(path)]
+        assert {entry["key"]: entry["value"] for entry in lines} == \
+            {"a": 2, "b": 4}
+        assert all(entry["status"] == "ok" for entry in lines)
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        run_cells([("a", 1), ("b", 2)], double,
+                  ExecutorPolicy(jobs=1, checkpoint=path))
+        # Resume with a worker that would fail: restored cells must not
+        # re-run; only the new cell executes.
+        outcomes, stats = run_cells(
+            [("a", 1), ("b", 2), ("c", (str(tmp_path / "m"), 9))],
+            fail_until_marker,
+            ExecutorPolicy(jobs=1, retries=2, backoff=0.01,
+                           checkpoint=path, resume=True))
+        assert stats.resumed == 2
+        assert outcomes["a"].from_checkpoint
+        assert outcomes["a"].value == 2
+        assert outcomes["b"].value == 4
+        assert outcomes["c"].status == "ok"
+        assert outcomes["c"].value == 9
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"key": "a", "status": "ok",
+                                     "value": 2, "attempts": 1}) + "\n")
+            handle.write(json.dumps({"key": "q", "status": "quarantined",
+                                     "value": None, "attempts": 3}) + "\n")
+            handle.write('{"key": "b", "status"')  # the kill landed here
+        restored = load_checkpoint(path)
+        assert set(restored) == {"a"}  # torn line dropped, quarantined
+        assert restored["a"].value == 2  # lines get a fresh chance
+
+    def test_missing_checkpoint_is_empty(self, tmp_path):
+        assert load_checkpoint(str(tmp_path / "nope.jsonl")) == {}
+
+
+class TestPolicyAndEnv:
+    def test_policy_validation(self):
+        with pytest.raises(ExecutorError, match="jobs"):
+            ExecutorPolicy(jobs=0)
+        with pytest.raises(ExecutorError, match="retries"):
+            ExecutorPolicy(retries=-1)
+        with pytest.raises(ExecutorError, match="timeout"):
+            ExecutorPolicy(timeout=0.0)
+        with pytest.raises(ExecutorError, match="checkpoint"):
+            ExecutorPolicy(resume=True)
+
+    def test_cell_timeout_env(self, monkeypatch):
+        monkeypatch.delenv(CELL_TIMEOUT_ENV, raising=False)
+        assert cell_timeout() is None
+        assert cell_timeout(5.0) == 5.0
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "2.5")
+        assert cell_timeout() == 2.5
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "0")
+        assert cell_timeout() is None  # <= 0 disables the timeout
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "soon")
+        with pytest.raises(ExecutorError, match=CELL_TIMEOUT_ENV):
+            cell_timeout()
+
+    def test_cell_retries_env(self, monkeypatch):
+        monkeypatch.delenv(CELL_RETRIES_ENV, raising=False)
+        assert cell_retries() == 2
+        assert cell_retries(0) == 0
+        monkeypatch.setenv(CELL_RETRIES_ENV, "5")
+        assert cell_retries() == 5
+        monkeypatch.setenv(CELL_RETRIES_ENV, "-1")
+        with pytest.raises(ExecutorError, match=">= 0"):
+            cell_retries()
+        monkeypatch.setenv(CELL_RETRIES_ENV, "many")
+        with pytest.raises(ExecutorError, match=CELL_RETRIES_ENV):
+            cell_retries()

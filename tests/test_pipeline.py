@@ -415,6 +415,11 @@ class TestShardedSweep:
         # Byte-identical modulo the wall-time columns: the merge is in
         # submission order, so shard scheduling cannot reorder rows.
         assert stable(sharded) == stable(solo)
+        # The sharded run additionally reports its executor accounting;
+        # everything the cells computed must still match exactly.
+        executor = sharded_summary.pop("executor")
+        assert executor["completed"] == len({r[0] for r in sharded})
+        assert not executor["quarantined"]
         assert sharded_summary == solo_summary
 
     def test_jobs_env_knob(self, monkeypatch):

@@ -31,12 +31,14 @@ from repro.equiv import (
     replay_simulator,
 )
 from repro.netlist.core import Netlist
+from repro.obs import METRICS
 from repro.sim import make_async_simulator
 from repro.sim.vector_async import (
     ScheduleReplaySimulator,
     check_schedule_replayable,
 )
 from repro.testing import random_stimulus, run_differential_async
+from repro.timing import DelayModel
 from repro.utils.errors import FlowEquivalenceError, SimulationError
 
 CYCLES = 8
@@ -236,6 +238,46 @@ class TestDataDependenceFallback:
         for stimulus, batched in zip(stimuli, streams):
             assert batched == desync_streams(result, 6,
                                              inputs_per_cycle=stimulus)
+
+
+class TestDelayModelScalarPath:
+    """A non-identity delay model forces the scalar engine by design —
+    the replay transfer proof assumes the recorded schedule's constant
+    delays — and the scalar path must stay *correct* under the
+    perturbation, not just reachable."""
+
+    def test_forced_scalar_matches_per_seed_reference(self):
+        result = serial_desync("pipe4x1")
+        model = DelayModel.jittered(0.03, seed=2)
+        stimuli = [random_stimulus(result.sync_netlist, CYCLES, seed)
+                   for seed in range(3)]
+        before = METRICS.snapshot().get("sim.replay.fallbacks",
+                                        {}).get("value", 0)
+        streams, engines = desync_streams_batch(result, CYCLES, stimuli,
+                                                delay_model=model)
+        for engine, reason in engines:
+            assert engine == "scalar"
+            assert "delay-model" in reason
+        for stimulus, batched in zip(stimuli, streams):
+            assert batched == desync_streams(result, CYCLES,
+                                             inputs_per_cycle=stimulus,
+                                             delay_model=model)
+        # By-design scalar routing is not a fallback: the counter the
+        # sweep bench asserts on must not move.
+        after = METRICS.snapshot().get("sim.replay.fallbacks",
+                                       {}).get("value", 0)
+        assert after == before
+
+    def test_check_batch_equivalent_under_jitter(self):
+        result = serial_desync("counter6")
+        model = DelayModel.jittered(0.03, seed=5)
+        reports = check_flow_equivalence_batch(result, range(4),
+                                               cycles=CYCLES,
+                                               delay_model=model)
+        for report in reports.values():
+            assert report.desync_engine == "scalar"
+            assert "delay-model" in report.fallback_reason
+            assert report.equivalent
 
 
 class TestPackingValidation:
