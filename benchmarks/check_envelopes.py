@@ -40,6 +40,16 @@ METRIC_TYPES = {
     "histogram": {"count", "min", "max", "mean", "p50", "p95"},
 }
 
+#: Columns specific artifacts must carry — the load-bearing fields
+#: downstream tooling keys on.  The pipeline sweep must report the
+#: lane width each cell verified at (``lanes``), and the width sweep
+#: must carry its full (config, backend, width) measurement tuple.
+REQUIRED_COLUMNS = {
+    "BENCH_pipeline.json": {"lanes"},
+    "BENCH_width.json": {"name", "tier", "backend", "lanes",
+                         "seeds_per_s", "speedup_vs_64"},
+}
+
 
 def _check_metrics(name: str, metrics: object) -> None:
     if not isinstance(metrics, dict):
@@ -84,6 +94,11 @@ def check_envelopes(out_dir: str) -> list[str]:
         columns = payload["columns"]
         if not isinstance(columns, list) or not columns:
             raise SystemExit(f"{name}: columns must be a non-empty list")
+        missing_cols = REQUIRED_COLUMNS.get(name, set()) - set(columns)
+        if missing_cols:
+            raise SystemExit(
+                f"{name}: missing required columns "
+                f"{sorted(missing_cols)} (have {columns})")
         for index, row in enumerate(payload["rows"]):
             if not isinstance(row, dict) or list(row) != columns:
                 raise SystemExit(

@@ -63,6 +63,7 @@ from repro.netlist.core import (
 )
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACE_ENV, TRACER
+from repro.sim.lanes import resolve_lanes
 from repro.petri.analysis import CycleTimeResult, cycle_time
 from repro.stg.cluster_model import fabric_model
 from repro.stg.desync_model import extract_banks, latch_adjacency
@@ -587,7 +588,7 @@ SWEEP_COLUMNS = [
     "config", "variant", "pipeline", "strategy", "mode", "status",
     "registers", "domains", "edges", "sync_island",
     "sync_period_ps", "desync_cycle_ps", "cycle_ratio", "area_ratio",
-    "equiv_seeds", "equiv_ok", "hold_ok", "desync_engine",
+    "equiv_seeds", "equiv_ok", "hold_ok", "desync_engine", "lanes",
     "build_ms", "verify_ms",
 ]
 
@@ -633,6 +634,7 @@ def sweep_pipelines(configs: list[str] | None = None,
                     hold_rounds: int = 8,
                     desync_engine: str = "replay",
                     jobs: int | None = None,
+                    lanes: int | None = None,
                     ) -> tuple[list[str], list[list[object]], dict]:
     """Run a (corpus config x pipeline variant) grid.
 
@@ -656,9 +658,13 @@ def sweep_pipelines(configs: list[str] | None = None,
     chains; flow equivalence remains the correctness gate).
 
     Each row records the build-vs-verify wall-time split (``build_ms`` /
-    ``verify_ms``) and the engine(s) that produced the desync streams
+    ``verify_ms``), the engine(s) that produced the desync streams
     (``desync_engine`` — replay fallbacks are reported per row, never
-    silent).  ``summary`` aggregates across the whole grid what the
+    silent), and the lane width the batched equivalence check ran at
+    (``lanes`` — from the explicit ``lanes`` argument, else the
+    ``REPRO_LANES``/size-tuned :func:`repro.sim.lanes.resolve_lanes`
+    policy, resolved per cell against its synchronous netlist; ``None``
+    on rows that never reached verification).  ``summary`` aggregates across the whole grid what the
     per-row strings only show locally: status counts, per-seed desync
     engine counts, and fallback-reason counts; the same totals land in
     the global metrics registry under ``sweep.*``.  Every cell also gets
@@ -713,7 +719,8 @@ def sweep_pipelines(configs: list[str] | None = None,
             shard_tracks: dict[int, int] = {}
             shards, exec_stats = _sweep_sharded(
                 config_names, grid, seeds, cycles, backend,
-                max_equiv_instances, hold_rounds, desync_engine, n_jobs)
+                max_equiv_instances, hold_rounds, desync_engine, n_jobs,
+                lanes)
             for config, results, events, worker_pid, deltas in shards:
                 for row, stats in results:
                     tally(row, stats)
@@ -735,7 +742,8 @@ def sweep_pipelines(configs: list[str] | None = None,
                         row, stats = _sweep_cell(
                             config, netlist, variant, seeds, cycles,
                             backend, max_equiv_instances, hold_rounds,
-                            desync_engine, check_flow_equivalence_batch)
+                            desync_engine, check_flow_equivalence_batch,
+                            lanes=lanes)
                         span.set(status=row[status_index],
                                  desync_engine=row[engine_index])
                     tally(row, stats)
@@ -765,7 +773,8 @@ def _registry_names() -> list[str]:
 def _sweep_sharded(config_names: list[str], grid: list[PipelineVariant],
                    seeds: tuple[int, ...], cycles: int, backend: str,
                    max_equiv_instances: int, hold_rounds: int,
-                   desync_engine: str, jobs: int) -> tuple[list[tuple], object]:
+                   desync_engine: str, jobs: int,
+                   lanes: int | None = None) -> tuple[list[tuple], object]:
     """Dispatch one task per config through the resilient executor.
 
     Returns ``(shards, executor_stats)`` with shards in grid
@@ -788,7 +797,8 @@ def _sweep_sharded(config_names: list[str], grid: list[PipelineVariant],
     )
 
     tasks = [(config, (config, grid, seeds, cycles, backend,
-                       max_equiv_instances, hold_rounds, desync_engine))
+                       max_equiv_instances, hold_rounds, desync_engine,
+                       lanes))
              for config in config_names]
     policy = ExecutorPolicy(jobs=min(jobs, len(tasks)),
                             timeout=cell_timeout(),
@@ -852,7 +862,7 @@ def _sweep_config_task(payload: tuple) -> tuple:
     added to the process-local metric counters.
     """
     (config, grid, seeds, cycles, backend, max_equiv_instances,
-     hold_rounds, desync_engine) = payload
+     hold_rounds, desync_engine, lanes) = payload
     from repro.corpus import generate
     from repro.equiv import check_flow_equivalence_batch
 
@@ -867,7 +877,7 @@ def _sweep_config_task(payload: tuple) -> tuple:
             row, stats = _sweep_cell(
                 config, netlist, variant, seeds, cycles, backend,
                 max_equiv_instances, hold_rounds, desync_engine,
-                check_flow_equivalence_batch)
+                check_flow_equivalence_batch, lanes=lanes)
             span.set(status=row[status_index],
                      desync_engine=row[engine_index])
         results.append((row, stats))
@@ -898,7 +908,7 @@ def _engine_summary(reports) -> str:
 
 def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
                 max_equiv_instances, hold_rounds, desync_engine,
-                check_batch):
+                check_batch, lanes=None):
     """One grid cell: ``(row_values, stats)``.
 
     ``stats`` carries the per-seed aggregation inputs the row string
@@ -956,10 +966,12 @@ def _sweep_cell(config, netlist, variant, seeds, cycles, backend,
         row.update(status="unchecked", equiv_seeds=0)
         return cell(row)
     result = make_result(ctx)
+    cell_lanes = resolve_lanes(ctx.sync_netlist, lanes)
+    row.update(lanes=cell_lanes)
     verify_start = perf_counter()
     try:
         reports = check_batch(result, seeds, cycles=cycles, backend=backend,
-                              desync_engine=desync_engine)
+                              desync_engine=desync_engine, lanes=cell_lanes)
         equiv_ok = all(report.equivalent for report in reports.values())
         hold_ok = all(check.ok
                       for check in result.verify_hold(rounds=hold_rounds))

@@ -30,10 +30,12 @@ from repro.desync.pipeline import FlowContext
 from repro.netlist.core import Netlist
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
-from repro.sim.backends import DEFAULT_BACKEND, make_simulator
+from repro.sim.backends import (DEFAULT_BACKEND, make_cycle_simulator,
+                                make_simulator)
+from repro.sim.lanes import resolve_lanes
 from repro.sim.logic import Value
 from repro.sim.sync import CycleSimulator
-from repro.sim.vector import VECTOR_LANES, VectorCycleSimulator, pack_stimuli
+from repro.sim.vector import pack_stimuli
 from repro.sim.vector_async import (
     ScheduleReplaySimulator,
     check_schedule_replayable,
@@ -99,23 +101,35 @@ def reference_streams(netlist: Netlist, cycles: int,
 
 def reference_streams_batch(netlist: Netlist, cycles: int,
                             stimuli: list[list[dict[str, Value]]],
-                            lanes: int = VECTOR_LANES,
+                            lanes: int | None = None,
+                            cycle_backend: str = "vector",
                             ) -> list[dict[str, list[Value]]]:
     """Per-flip-flop reference streams for N stimuli, lane-parallel.
 
-    Runs the code-generated :class:`~repro.sim.vector.VectorCycleSimulator`
+    Runs a lane-parallel cycle engine (``cycle_backend``: ``"vector"``
+    for bigint words, ``"vector-np"`` for the numpy bit-plane backend)
     in ``ceil(N / lanes)`` passes — stimulus *i* rides lane ``i % lanes``
     of pass ``i // lanes`` — and demuxes one scalar stream dict per
-    stimulus, in input order.  Lane demux equals an independent
-    :func:`reference_streams` call per stimulus (the differential
-    harness asserts this); the per-stimulus cost is what drops.
+    stimulus, in input order.  ``lanes=None`` asks the
+    :func:`repro.sim.lanes.resolve_lanes` policy.  One simulator is
+    compiled at the full width and :meth:`reset` between blocks; a tail
+    block shorter than ``lanes`` rides the low lanes with the rest left
+    X, so no block ever recompiles the kernel at an odd width.  Lane
+    demux equals an independent :func:`reference_streams` call per
+    stimulus (the differential harness asserts this); the per-stimulus
+    cost is what drops.
     """
+    if not stimuli:
+        return []
+    lanes = resolve_lanes(netlist, lanes)
+    sim = make_cycle_simulator(netlist, cycle_backend, lanes=lanes)
     streams: list[dict[str, list[Value]]] = []
     for start in range(0, len(stimuli), lanes):
         block = stimuli[start:start + lanes]
         with TRACER.span("equiv:reference-block", netlist=netlist.name,
                          start=start, lanes=len(block)):
-            sim = VectorCycleSimulator(netlist, lanes=len(block))
+            if start:
+                sim.reset()
             sim.run(cycles, pack_stimuli(block))
             streams.extend(sim.lane_captures(lane)
                            for lane in range(len(block)))
@@ -293,11 +307,14 @@ def replay_simulator(result: DesyncResult | FlowContext,
                      cycles: int,
                      backend: str = DEFAULT_BACKEND,
                      time_limit: float | None = None,
+                     lanes: int | None = None,
                      ) -> ScheduleReplaySimulator:
     """Run one lane-parallel schedule-replay pass over ``stimuli``.
 
     Packs the N scalar stimuli into N lanes (stimulus *i* rides lane
-    *i*; N is the lane count, so split wider sweeps into blocks),
+    *i*; ``lanes`` defaults to N, but a batch driver passes its full
+    block width so a short tail block reuses the already-compiled
+    full-width segments, the unused lanes riding along as X),
     records the firing schedule from lane 0 on the scalar engine named
     ``backend`` under the same observational pacing as
     :func:`desync_streams`, and replays it across all lanes.  Returns
@@ -309,7 +326,9 @@ def replay_simulator(result: DesyncResult | FlowContext,
     """
     packed = pack_stimuli(stimuli)
     sim = ScheduleReplaySimulator(
-        result.desync_netlist, lanes=len(stimuli), scalar_backend=backend,
+        result.desync_netlist,
+        lanes=len(stimuli) if lanes is None else lanes,
+        scalar_backend=backend,
         initial_inputs=packed[0] if packed else None)
     _paced_run(sim, result, cycles, packed, _masters(result),
                time_limit=time_limit)
@@ -320,7 +339,7 @@ def replay_simulator(result: DesyncResult | FlowContext,
 def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
                          stimuli: list[list[dict[str, Value]]],
                          backend: str = DEFAULT_BACKEND,
-                         lanes: int = VECTOR_LANES,
+                         lanes: int | None = None,
                          engine: str = "replay",
                          delay_model=None,
                          ) -> tuple[list[dict[str, list[Value]]],
@@ -328,7 +347,8 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
     """De-synchronized capture streams for N stimuli, batched.
 
     The desync-side counterpart of :func:`reference_streams_batch`: with
-    ``engine="replay"`` each block of up to ``lanes`` stimuli costs one
+    ``engine="replay"`` each block of up to ``lanes`` stimuli (``None``
+    asks :func:`repro.sim.lanes.resolve_lanes`) costs one
     scalar recording run plus one lane-parallel replay instead of N
     event simulations.  When the netlist fails the data-independence
     proof — or a block's lane-0 replay check fails — that work falls
@@ -349,6 +369,7 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
         raise FlowEquivalenceError(
             f"unknown desync engine {engine!r} "
             f"(have: {', '.join(DESYNC_ENGINES)})")
+    lanes = resolve_lanes(result.desync_netlist, lanes)
     perturbed = delay_model is not None and not delay_model.is_identity
     reason: str | None = None
     if engine == "replay":
@@ -384,8 +405,10 @@ def desync_streams_batch(result: DesyncResult | FlowContext, cycles: int,
         try:
             with TRACER.span("equiv:desync-block", engine="replay",
                              lanes=len(block)):
+                # Full block width even for a short tail: the segment
+                # kernels are already compiled at `lanes`.
                 sim = replay_simulator(result, block, cycles,
-                                       backend=backend)
+                                       backend=backend, lanes=lanes)
         except SimulationError as exc:
             # The lane-0 replay check failed: the settlement semantics
             # did not hold on this run (e.g. data in flight at a capture
@@ -472,15 +495,22 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
                                  seeds: Iterable[int],
                                  cycles: int = 20,
                                  backend: str = DEFAULT_BACKEND,
-                                 lanes: int = VECTOR_LANES,
+                                 lanes: int | None = None,
                                  desync_engine: str = "replay",
                                  delay_model=None,
+                                 cycle_backend: str = "vector",
                                  ) -> dict[int, FlowEquivalenceReport]:
     """Flow-equivalence sweep over N seeded random stimuli, batched on
     **both** sides.
 
     One seeded stimulus per entry of ``seeds`` (see
-    :func:`repro.testing.stimulus.random_stimulus`).  The synchronous
+    :func:`repro.testing.stimulus.random_stimulus`).  ``lanes=None``
+    asks :func:`repro.sim.lanes.resolve_lanes` — explicit width, then
+    the ``REPRO_LANES`` env knob, then the measured per-size tuning
+    table — resolved once against the synchronous netlist so both sides
+    run the same width; ``cycle_backend`` selects the reference-side
+    engine (``"vector"`` bigint words, ``"vector-np"`` numpy
+    bit-planes).  The synchronous
     reference side runs lane-parallel in ``ceil(N / lanes)`` vector
     passes (:func:`reference_streams_batch`); the de-synchronized side
     runs on the schedule-replay engine (:func:`desync_streams_batch`) —
@@ -498,13 +528,15 @@ def check_flow_equivalence_batch(result: DesyncResult | FlowContext,
     if len(set(seeds)) != len(seeds):
         raise FlowEquivalenceError(
             "duplicate seeds in batch sweep (reports are keyed by seed)")
+    lanes = resolve_lanes(result.sync_netlist, lanes)
     with TRACER.span("equiv:batch", netlist=result.sync_netlist.name,
-                     seeds=len(seeds), cycles=cycles,
+                     seeds=len(seeds), cycles=cycles, lanes=lanes,
                      desync_engine=desync_engine) as span:
         stimuli = [random_stimulus(result.sync_netlist, cycles, seed)
                    for seed in seeds]
         sync_streams = reference_streams_batch(result.sync_netlist, cycles,
-                                               stimuli, lanes=lanes)
+                                               stimuli, lanes=lanes,
+                                               cycle_backend=cycle_backend)
         desync_list, engines = desync_streams_batch(
             result, cycles, stimuli, backend=backend, lanes=lanes,
             engine=desync_engine, delay_model=delay_model)

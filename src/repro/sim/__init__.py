@@ -23,6 +23,7 @@ from repro.sim.simulator import (
     SimStats,
     settle_combinational,
 )
+from repro.sim.lanes import DEFAULT_LANES, LANES_ENV, resolve_lanes
 from repro.sim.sync import CycleSimulator, LatchCycleSimulator
 from repro.sim.vector import (
     VECTOR_LANES,
@@ -35,6 +36,11 @@ from repro.sim.vector import (
 from repro.sim.vector_async import (
     ScheduleReplaySimulator,
     check_schedule_replayable,
+)
+from repro.sim.vector_np import (
+    HAVE_NUMPY,
+    NpVectorCycleSimulator,
+    NpVectorLatchCycleSimulator,
 )
 from repro.sim.waves import WaveGroup, Waveform, overlap_intervals
 
@@ -61,9 +67,15 @@ __all__ = [
     "settle_combinational",
     "CycleSimulator",
     "LatchCycleSimulator",
+    "DEFAULT_LANES",
+    "LANES_ENV",
+    "resolve_lanes",
     "VECTOR_LANES",
     "VectorCycleSimulator",
     "VectorLatchCycleSimulator",
+    "HAVE_NUMPY",
+    "NpVectorCycleSimulator",
+    "NpVectorLatchCycleSimulator",
     "pack_lanes",
     "pack_stimuli",
     "unpack_lanes",

@@ -34,6 +34,8 @@ from repro.sim.simulator import EventSimulator
 from repro.sim.sync import CycleSimulator, LatchCycleSimulator
 from repro.sim.vector import VectorCycleSimulator, VectorLatchCycleSimulator
 from repro.sim.vector_async import ScheduleReplaySimulator
+from repro.sim.vector_np import (NpVectorCycleSimulator,
+                                 NpVectorLatchCycleSimulator)
 from repro.utils.errors import SimulationError
 
 #: Name -> class for the interchangeable event-driven engines.
@@ -44,12 +46,17 @@ EVENT_BACKENDS: dict[str, type] = {
 
 #: Name -> class for the cycle-stepping engines (globally-clocked
 #: netlists only).  ``cycle``/``latch-cycle`` are the scalar reference
-#: semantics; ``vector``/``vector-latch`` advance many lanes per pass.
+#: semantics; ``vector``/``vector-latch`` advance many lanes per pass
+#: over bigint words; ``vector-np``/``vector-np-latch`` hold uint64
+#: bit-plane arrays instead (numpy soft dependency — always listed,
+#: constructing one without numpy raises a SimulationError naming it).
 CYCLE_BACKENDS: dict[str, type] = {
     "cycle": CycleSimulator,
     "latch-cycle": LatchCycleSimulator,
     "vector": VectorCycleSimulator,
     "vector-latch": VectorLatchCycleSimulator,
+    "vector-np": NpVectorCycleSimulator,
+    "vector-np-latch": NpVectorLatchCycleSimulator,
 }
 
 #: Name -> class for the lane-parallel engines that batch *asynchronous*

@@ -48,15 +48,17 @@ from collections.abc import Iterable
 
 from repro.netlist.cells import Cell, CellKind, PIN_D, PIN_RESET_N
 from repro.netlist.core import Instance, Netlist
+from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER as _TRACER
+from repro.sim.lanes import resolve_lanes
 from repro.sim.logic import Value
 from repro.sim.sync import phase_order
 from repro.utils.errors import SimulationError
 
-#: Default lane count: one machine word on the platforms we care about,
-#: the sweet spot between per-pass overhead amortization and keeping the
-#: packed integers single-digit words.  Any positive count works (the
-#: words are plain Python integers).
+#: One machine word: the historical default lane count, now just the
+#: base entry of the :mod:`repro.sim.lanes` tuning policy.  Any positive
+#: count works (the words are plain Python integers); constructors take
+#: ``lanes=None`` to mean "ask :func:`repro.sim.lanes.resolve_lanes`".
 VECTOR_LANES = 64
 
 #: A packed lane word pair: (value bits, known bits).
@@ -122,12 +124,14 @@ def pack_stimuli(stimuli: list[list[dict[str, Value]]],
 # ----------------------------------------------------------------------
 
 def _emit_cell(cell: Cell, ins: list[tuple[str, str]],
-               vo: str, ko: str) -> list[str]:
+               vo: str, ko: str, zero: str = "0") -> list[str]:
     """Source lines computing ``(vo, ko)`` = ternary eval of ``cell``.
 
     ``ins`` holds the ``(value, known)`` variable names per input pin,
-    in pin order.  ``M`` (the all-lanes mask) is in scope.  Relies on
-    the ``value & ~known == 0`` invariant and preserves it.
+    in pin order.  ``M`` (the all-lanes mask) is in scope; ``zero``
+    names the all-lanes zero (the literal ``0`` for bigint words, the
+    ``Z`` array for the numpy bit-plane kernel).  Relies on the
+    ``value & ~known == 0`` invariant and preserves it.
     """
     n = cell.n_inputs
     size = 1 << n
@@ -136,7 +140,7 @@ def _emit_cell(cell: Cell, ins: list[tuple[str, str]],
     vs = [v for v, _ in ins]
     ks = [k for _, k in ins]
     if tt == 0:  # constant 0 regardless of inputs
-        return [f"{vo} = 0", f"{ko} = M"]
+        return [f"{vo} = {zero}", f"{ko} = M"]
     if tt == full:  # constant 1
         return [f"{vo} = M", f"{ko} = M"]
     if n == 1:
@@ -192,7 +196,8 @@ def _emit_cell(cell: Cell, ins: list[tuple[str, str]],
 
 
 def compile_pass(netlist: Netlist, order: list[Instance],
-                 slot_of: dict[str, int], lanes: int):
+                 slot_of: dict[str, int], lanes: int,
+                 kernel: str = "int"):
     """Compile one evaluation pass over ``order`` into a function.
 
     Returns ``(fn, source)``: ``fn(V, K)`` reads the slot-indexed value/
@@ -200,7 +205,18 @@ def compile_pass(netlist: Netlist, order: list[Instance],
     through :func:`_emit_cell`, transparent latches as buffers, TIEs as
     constants) with all intermediates held in locals, and writes every
     computed net back.  ``source`` is kept for debugging.
+
+    ``kernel`` selects the word representation the generated source
+    runs over: ``"int"`` binds ``M`` to the ``lanes``-bit bigint mask,
+    ``"np"`` binds ``M``/``Z`` to ``ceil(lanes / 64)``-word uint64
+    bit-plane arrays (numpy broadcasting makes the same bitwise source
+    elementwise) — the constant-zero emissions use ``Z`` there so every
+    value flowing through the kernel stays an array.
     """
+    if kernel not in ("int", "np"):
+        raise SimulationError(f"unknown kernel {kernel!r} "
+                              "(have: int, np)")
+    zero = "Z" if kernel == "np" else "0"
     body: list[str] = []
     computed: list[int] = []
     computed_set: set[int] = set()
@@ -213,7 +229,7 @@ def compile_pass(netlist: Netlist, order: list[Instance],
             reads.add(data)
             body += [f"{vo} = v{data}", f"{ko} = k{data}"]
         elif inst.cell.kind is CellKind.TIE:
-            body += [f"{vo} = {'M' if inst.cell.tt & 1 else '0'}",
+            body += [f"{vo} = {'M' if inst.cell.tt & 1 else zero}",
                      f"{ko} = M"]
         else:
             ins = []
@@ -221,7 +237,7 @@ def compile_pass(netlist: Netlist, order: list[Instance],
                 slot = slot_of[inst.pins[pin].name]
                 reads.add(slot)
                 ins.append((f"v{slot}", f"k{slot}"))
-            body += _emit_cell(inst.cell, ins, vo, ko)
+            body += _emit_cell(inst.cell, ins, vo, ko, zero=zero)
         computed.append(out)
         computed_set.add(out)
     lines = ["def _eval(V, K):"]
@@ -233,9 +249,51 @@ def compile_pass(netlist: Netlist, order: list[Instance],
     if len(lines) == 1:
         lines.append("    pass")
     source = "\n".join(lines)
-    namespace: dict[str, object] = {"M": (1 << lanes) - 1}
+    if kernel == "np":
+        from repro.sim.vector_np import plane_masks
+        mask, zero_planes = plane_masks(lanes)
+        namespace: dict[str, object] = {"M": mask, "Z": zero_planes}
+    else:
+        namespace = {"M": (1 << lanes) - 1}
     exec(source, namespace)  # noqa: S102 — source generated just above
     return namespace["_eval"], source
+
+
+#: Process-global compiled-kernel cache, keyed ``(netlist fingerprint,
+#: kind, lanes, kernel)``.  Structural fingerprints make entries valid
+#: across distinct :class:`Netlist` objects (the same corpus config
+#: regenerated per sweep cell, per fault-campaign cell, per worker
+#: task), so repeated batch calls skip ``exec`` recompilation entirely;
+#: a mutated netlist fingerprints differently, so stale entries are
+#: unreachable rather than wrong.  Bounded FIFO so campaign-scale config
+#: churn cannot grow it without limit.
+_KERNEL_CACHE: dict[tuple, tuple] = {}
+_KERNEL_CACHE_CAP = 256
+
+
+def compile_pass_cached(netlist: Netlist, kind, lanes: int,
+                        slot_of: dict[str, int], order_fn,
+                        kernel: str = "int"):
+    """Fingerprint-keyed :func:`compile_pass`, with hit/miss metrics.
+
+    ``kind`` tags the pass flavour (``"comb"``, ``"latch_low"``, a
+    replay-segment key, ...); ``order_fn`` produces the evaluation
+    order only on a miss.  Hits and misses are surfaced through the
+    global metrics registry as ``sim.vector.kernel_cache_hits`` /
+    ``..._misses`` — the counters sweeps and fault campaigns fold into
+    their envelopes.
+    """
+    key = (netlist.fingerprint(), kind, lanes, kernel)
+    hit = _KERNEL_CACHE.get(key)
+    if hit is not None:
+        METRICS.counter("sim.vector.kernel_cache_hits").inc()
+        return hit
+    METRICS.counter("sim.vector.kernel_cache_misses").inc()
+    hit = compile_pass(netlist, order_fn(), slot_of, lanes, kernel=kernel)
+    if len(_KERNEL_CACHE) >= _KERNEL_CACHE_CAP:
+        _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
+    _KERNEL_CACHE[key] = hit
+    return hit
 
 
 # ----------------------------------------------------------------------
@@ -248,62 +306,98 @@ class _VectorSimulatorBase:
     #: Tracer span name and evaluation passes per cycle of :meth:`run`.
     trace_name = "sim:vector"
     _passes_per_cycle = 1
+    #: Word representation the compiled kernel runs over; the numpy
+    #: bit-plane mixin overrides this to ``"np"``.
+    _kernel = "int"
 
-    def __init__(self, netlist: Netlist, lanes: int):
-        if lanes < 1:
-            raise SimulationError(f"lane count must be >= 1, got {lanes}")
+    def __init__(self, netlist: Netlist, lanes: int | None = None):
         self.netlist = netlist
-        self.lanes = lanes
-        self.mask = (1 << lanes) - 1
+        self.lanes = resolve_lanes(netlist, lanes)
+        self.mask = (1 << self.lanes) - 1
         self._names = list(netlist.nets)
         self._slot_of = {name: i for i, name in enumerate(self._names)}
-        self.V: list[int] = [0] * len(self._names)
-        self.K: list[int] = [0] * len(self._names)
+        self.V: list = [0] * len(self._names)
+        self.K: list = [0] * len(self._names)
         self.cycles = 0
         #: Packed capture streams: register name -> [(value, known)] per
         #: capture, lane-demuxed by :meth:`lane_captures`.
         self.captures: dict[str, list[Lanes]] = {}
+        #: ``(output slot, init bit)`` per register, for :meth:`reset`.
+        self._seq_inits: list[tuple[int, int]] = []
         if netlist.clock is not None:
-            self.K[self._slot_of[netlist.clock]] = self.mask
+            self._store_words(self._slot_of[netlist.clock], 0, self.mask)
+
+    def _store_words(self, slot: int, value: int, known: int) -> None:
+        """Write one net's packed words from bigints.
+
+        The single mutation point for externally supplied words — the
+        numpy mixin overrides it to convert bigints into bit-plane
+        arrays, so every other stimulus/reset path stays
+        representation-agnostic.
+        """
+        self.V[slot] = value
+        self.K[slot] = known
 
     def _seq_slots(self, inst: Instance) -> tuple[int, int, int, list]:
         """(D slot, RN slot or -1, output slot, capture list) of ``inst``;
         initializes the output words to the known init value."""
         out = self._slot_of[inst.output_net().name]
-        self.V[out] = self.mask if inst.init else 0
-        self.K[out] = self.mask
+        init = 1 if inst.init else 0
+        self._store_words(out, self.mask if init else 0, self.mask)
+        self._seq_inits.append((out, init))
         reset = (self._slot_of[inst.pins[PIN_RESET_N].name]
                  if PIN_RESET_N in inst.cell.inputs else -1)
         caps: list[Lanes] = []
         self.captures[inst.name] = caps
         return (self._slot_of[inst.pins[PIN_D].name], reset, out, caps)
 
+    def reset(self) -> None:
+        """Return to the post-construction state.
+
+        All nets X, clock known-0, registers at their init values,
+        capture streams empty, cycle count zero.  Batch drivers reset
+        one full-width simulator between blocks instead of constructing
+        (and compiling a kernel for) a fresh one per block.
+        """
+        for slot in range(len(self._names)):
+            self._store_words(slot, 0, 0)
+        if self.netlist.clock is not None:
+            self._store_words(self._slot_of[self.netlist.clock],
+                              0, self.mask)
+        for out, init in self._seq_inits:
+            self._store_words(out, self.mask if init else 0, self.mask)
+        for caps in self.captures.values():
+            caps.clear()
+        self.cycles = 0
+
     # -- stimulus ------------------------------------------------------
+    def _coerce_packed(self, port: str,
+                       packed: Lanes | Value) -> tuple[int, int]:
+        """Validate/broadcast one port's stimulus to bigint words."""
+        if isinstance(packed, tuple):
+            value, known = packed
+            if known >> self.lanes or value & ~known:
+                raise SimulationError(
+                    f"packed word for {port} spills outside "
+                    f"{self.lanes} lanes or has value bits in "
+                    f"unknown lanes")
+            return value, known
+        if packed is None:
+            return 0, 0
+        return (self.mask if packed else 0), self.mask
+
     def set_inputs(self, inputs: dict[str, Lanes | Value]) -> None:
         """Drive input ports with packed ``(value, known)`` pairs.
 
         Scalar values broadcast: ``0``/``1`` drive every lane, ``None``
         makes every lane X.
         """
-        mask = self.mask
         for port, packed in inputs.items():
             net = self.netlist.nets.get(port)
             if net is None or not net.is_input_port:
                 raise SimulationError(f"{port} is not an input port")
-            if isinstance(packed, tuple):
-                value, known = packed
-                if known >> self.lanes or value & ~known:
-                    raise SimulationError(
-                        f"packed word for {port} spills outside "
-                        f"{self.lanes} lanes or has value bits in "
-                        f"unknown lanes")
-            elif packed is None:
-                value = known = 0
-            else:
-                value, known = (mask if packed else 0), mask
-            slot = self._slot_of[port]
-            self.V[slot] = value
-            self.K[slot] = known
+            value, known = self._coerce_packed(port, packed)
+            self._store_words(self._slot_of[port], value, known)
 
     def drive_lanes(self, port: str, values: Iterable[Value]) -> None:
         """Drive ``port`` with one scalar value per lane (lane 0 first)."""
@@ -385,7 +479,7 @@ class VectorCycleSimulator(_VectorSimulatorBase):
     ``lanes`` times lower.
     """
 
-    def __init__(self, netlist: Netlist, lanes: int = VECTOR_LANES):
+    def __init__(self, netlist: Netlist, lanes: int | None = None):
         if netlist.latch_instances():
             raise SimulationError(
                 f"{netlist.name} contains latches; "
@@ -394,14 +488,13 @@ class VectorCycleSimulator(_VectorSimulatorBase):
             raise SimulationError(
                 f"{netlist.name} contains C-elements; use EventSimulator")
         super().__init__(netlist, lanes)
-        # Memoized on the netlist: every same-width pass of a batch
-        # sweep (ceil(N/lanes) blocks construct one simulator each)
-        # shares a single generated function instead of recompiling it.
-        self._eval, self.source = netlist.memo(
-            ("vector_eval", "comb", lanes),
-            lambda: compile_pass(netlist, netlist.topo_order_comb_only(),
-                                 self._slot_of, lanes),
-            shared=True)
+        # Fingerprint-cached: every same-width construction over a
+        # structurally identical netlist — across batch calls, sweep
+        # cells, even regenerated Netlist objects — shares one
+        # generated function instead of recompiling it.
+        self._eval, self.source = compile_pass_cached(
+            netlist, "comb", self.lanes, self._slot_of,
+            netlist.topo_order_comb_only, kernel=self._kernel)
         self._ffs = [self._seq_slots(ff) for ff in netlist.dff_instances()]
 
     def evaluate(self) -> None:
@@ -432,7 +525,7 @@ class VectorLatchCycleSimulator(_VectorSimulatorBase):
     trace_name = "sim:vector-latch"
     _passes_per_cycle = 2
 
-    def __init__(self, netlist: Netlist, lanes: int = VECTOR_LANES):
+    def __init__(self, netlist: Netlist, lanes: int | None = None):
         if netlist.dff_instances():
             raise SimulationError(
                 f"{netlist.name} contains flip-flops; latchify first")
@@ -443,18 +536,14 @@ class VectorLatchCycleSimulator(_VectorSimulatorBase):
         if not even and not odd:
             raise SimulationError(f"{netlist.name} has no latches")
         super().__init__(netlist, lanes)
-        self._eval_low, source_low = netlist.memo(
-            ("vector_eval", "latch_low", lanes),
-            lambda: compile_pass(netlist,
-                                 phase_order(netlist, transparent=even),
-                                 self._slot_of, lanes),
-            shared=True)
-        self._eval_high, source_high = netlist.memo(
-            ("vector_eval", "latch_high", lanes),
-            lambda: compile_pass(netlist,
-                                 phase_order(netlist, transparent=odd),
-                                 self._slot_of, lanes),
-            shared=True)
+        self._eval_low, source_low = compile_pass_cached(
+            netlist, "latch_low", self.lanes, self._slot_of,
+            lambda: phase_order(netlist, transparent=even),
+            kernel=self._kernel)
+        self._eval_high, source_high = compile_pass_cached(
+            netlist, "latch_high", self.lanes, self._slot_of,
+            lambda: phase_order(netlist, transparent=odd),
+            kernel=self._kernel)
         self.source = source_low + "\n\n" + source_high
         self._even = [self._seq_slots(latch) for latch in even]
         self._odd = [self._seq_slots(latch) for latch in odd]

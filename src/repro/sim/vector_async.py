@@ -27,18 +27,19 @@ combinational islands between them differ.
    a genuine constant.  When the proof fails the caller falls back to
    per-lane scalar event simulation with the recorded reason — the
    fallback is a first-class, logged outcome, never silent.
-3. **Replay** — the recorded schedule is re-executed over up to
-   :data:`~repro.sim.vector.VECTOR_LANES` stimulus lanes at once, using
-   the per-net ``(value, known)`` lane words and the exec-compiled
-   bitwise kernels of :mod:`repro.sim.vector`.  The data cone is
-   compiled once per **latch half** (one bank's masters or slaves plus
-   their D cone, with the latches inlined as buffers); at each control
-   timestamp the currently transparent halves' segments run in
-   dependency order, closing latches capture their D words, opening
-   halves join the next configuration.  Segment granularity is what
-   keeps compilation linear in the design (each segment compiles once,
-   memoized on the netlist) while a settle evaluates only the
-   transparent part of the cone.
+3. **Replay** — the recorded schedule is re-executed over ``lanes``
+   stimulus lanes at once (any width; defaults to the
+   :func:`repro.sim.lanes.resolve_lanes` policy), using the per-net
+   ``(value, known)`` lane words and the exec-compiled bitwise kernels
+   of :mod:`repro.sim.vector`.  The data cone is compiled once per
+   **latch half** (one bank's masters or slaves plus their D cone, with
+   the latches inlined as buffers); at each control timestamp the
+   currently transparent halves' segments run in dependency order,
+   closing latches capture their D words, opening halves join the next
+   configuration.  Segment granularity is what keeps compilation linear
+   in the design (each segment compiles once, cached process-wide by
+   netlist fingerprint) while a settle evaluates only the transparent
+   part of the cone.
 
 Lane 0 of the replay is checked **capture-for-capture against the
 recording engine** (values and times) at the end of phase 3 — a runtime
@@ -68,9 +69,10 @@ from dataclasses import dataclass, field
 from repro.netlist.cells import CellKind, PIN_D, PIN_RESET_N
 from repro.netlist.core import Instance, Netlist
 from repro.obs.trace import TRACER as _TRACER
+from repro.sim.lanes import resolve_lanes
 from repro.sim.logic import Value
 from repro.sim.simulator import Capture
-from repro.sim.vector import Lanes, VECTOR_LANES, compile_pass
+from repro.sim.vector import Lanes, compile_pass_cached
 from repro.utils.errors import SimulationError
 
 #: Scalar event backend that records the lane-0 schedule by default: the
@@ -266,19 +268,19 @@ class ScheduleReplaySimulator:
     Args:
         netlist: the de-synchronized netlist (must pass
             :func:`check_schedule_replayable`, else ``SimulationError``).
-        lanes: stimulus lane count (lane 0 is the recorded lane).
+        lanes: stimulus lane count (lane 0 is the recorded lane);
+            ``None`` asks :func:`repro.sim.lanes.resolve_lanes`.
         scalar_backend: event backend carrying the recording run.
         initial_inputs: input-port words present during reset (packed
             pairs or broadcast scalars), the lane-parallel counterpart
             of the event engines' ``initial_inputs``.
     """
 
-    def __init__(self, netlist: Netlist, lanes: int = VECTOR_LANES,
+    def __init__(self, netlist: Netlist, lanes: int | None = None,
                  scalar_backend: str = RECORD_BACKEND,
                  initial_inputs: dict[str, Lanes | Value] | None = None):
         from repro.sim.backends import make_simulator
-        if lanes < 1:
-            raise SimulationError(f"lane count must be >= 1, got {lanes}")
+        lanes = resolve_lanes(netlist, lanes)
         reason = check_schedule_replayable(netlist)
         if reason is not None:
             raise SimulationError(
@@ -414,15 +416,12 @@ class ScheduleReplaySimulator:
         fn = self._segment_cache.get(key)
         if fn is None:
             half = self._halves[key]
-            fn, _source = self.netlist.memo(
-                ("replay_seg", self.lanes, key),
-                lambda: compile_pass(
-                    self.netlist,
-                    _segment_order(self.netlist, half,
-                                   [self._latch_inst[slots.name]
-                                    for slots in half.latches]),
-                    self._slot_of, self.lanes),
-                shared=True)
+            fn, _source = compile_pass_cached(
+                self.netlist, ("replay_seg", key), self.lanes,
+                self._slot_of,
+                lambda: _segment_order(self.netlist, half,
+                                       [self._latch_inst[slots.name]
+                                        for slots in half.latches]))
             self._segment_cache[key] = fn
         return fn
 

@@ -1,0 +1,163 @@
+"""Numpy uint64 bit-plane storage for the lane-parallel engines.
+
+The bigint engines in :mod:`repro.sim.vector` hold one arbitrary-
+precision Python integer per net word.  That is unbeatable at W=64 —
+one machine word, zero per-op dispatch beyond the interpreter — but at
+corpus widths (W=512, 1024, beyond) every bitwise op walks a multi-limb
+bigint through CPython's generic long arithmetic.  This module swaps
+the *storage* while keeping everything else: each net's ``(value,
+known)`` pair becomes a pair of ``ceil(W / 64)``-element uint64 arrays
+(bit ``i`` of word ``i // 64`` is lane ``i``), and the very same
+generated kernel source runs over them — numpy broadcasting turns each
+emitted bitwise statement into one vectorized C loop over the planes.
+
+Two codegen details make the shared source work (see
+:func:`repro.sim.vector.compile_pass`): the namespace binds ``M`` to a
+plane array whose top word is partially masked, and constant-zero
+emissions use a ``Z`` zeros array instead of the literal ``0`` so no
+Python scalar ever becomes an operand of ``~`` (numpy>=2 rejects
+``uint64 & -1``).  The one runtime rule is **no in-place mutation**:
+generated buffers, ``Z``, ``M`` and captured planes may alias, so the
+mixin always rebinds (``value = value & ~clear``), never ``&=``.
+
+Everything crossing the API boundary — packed stimuli, ``captures``
+streams, :meth:`packed_value` — stays bigint pairs, so the demux
+helpers, the differential harness and the equivalence checkers treat
+this backend exactly like the bigint one.
+
+numpy is a *soft* dependency: the module always imports (so the
+backend registry can list it), and only constructing a simulator
+without numpy installed raises a :class:`SimulationError` naming the
+missing package.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None
+
+from repro.sim.logic import Value
+from repro.sim.vector import (Lanes, VectorCycleSimulator,
+                              VectorLatchCycleSimulator)
+from repro.utils.errors import SimulationError
+
+#: True when numpy is importable; the backend registry exposes the
+#: numpy engines either way, but constructing one requires this.
+HAVE_NUMPY = _np is not None
+
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise SimulationError(
+            "the numpy bit-plane backend requires numpy, which is not "
+            "installed; use the bigint 'vector' backends instead")
+
+
+def plane_words(lanes: int) -> int:
+    """uint64 words per net plane at width ``lanes``."""
+    return (lanes + 63) // 64
+
+
+def plane_masks(lanes: int):
+    """``(M, Z)`` kernel constants for a ``lanes``-wide np kernel.
+
+    ``M`` is the all-lanes-set plane array — all-ones words with the
+    top word masked down to ``lanes % 64`` bits — and ``Z`` the
+    all-lanes-clear one.  Generated kernels never mutate either.
+    """
+    _require_numpy()
+    words = plane_words(lanes)
+    mask = _np.full(words, _WORD_MASK, dtype=_np.uint64)
+    rem = lanes % 64
+    if rem:
+        mask[-1] = _np.uint64((1 << rem) - 1)
+    return mask, _np.zeros(words, dtype=_np.uint64)
+
+
+class _NpWords:
+    """Storage mixin: bigint words in, uint64 bit-plane arrays inside.
+
+    Overrides exactly the representation boundary of
+    :class:`~repro.sim.vector._VectorSimulatorBase` — word stores,
+    word reads, and the capture loop — and inherits every stimulus,
+    demux and stepping method unchanged.
+    """
+
+    _kernel = "np"
+
+    def __init__(self, netlist, lanes: int | None = None):
+        _require_numpy()
+        super().__init__(netlist, lanes)
+        # The base constructor seeded clock/register slots through
+        # _store_words (already planes); lift the untouched all-X
+        # bigint zeros into planes too so the kernel only ever sees
+        # arrays.
+        self.V = [w if isinstance(w, _np.ndarray) else self._planes(w)
+                  for w in self.V]
+        self.K = [w if isinstance(w, _np.ndarray) else self._planes(w)
+                  for w in self.K]
+
+    # -- representation boundary ---------------------------------------
+    def _planes(self, word: int):
+        words = plane_words(self.lanes)
+        return _np.frombuffer(word.to_bytes(words * 8, "little"),
+                              dtype="<u8").astype(_np.uint64)
+
+    def _word(self, planes) -> int:
+        return int.from_bytes(planes.astype("<u8").tobytes(), "little")
+
+    def _store_words(self, slot: int, value: int, known: int) -> None:
+        self.V[slot] = self._planes(value)
+        self.K[slot] = self._planes(known)
+
+    def packed_value(self, net: str) -> Lanes:
+        slot = self._slot_of[net]
+        return self._word(self.V[slot]), self._word(self.K[slot])
+
+    def lane_value(self, net: str, lane: int) -> Value:
+        slot = self._slot_of[net]
+        word, bit = divmod(lane, 64)
+        if (int(self.K[slot][word]) >> bit) & 1:
+            return (int(self.V[slot][word]) >> bit) & 1
+        return None
+
+    def _capture(self, registers, defer: bool) -> None:
+        # Mirrors the bigint capture loop, with two np-specific rules:
+        # rebind instead of mutating (operands may alias Z/M/other
+        # slots) and store capture streams as bigint pairs so
+        # lane_captures and every downstream consumer demux them
+        # identically across backends.
+        V, K = self.V, self.K
+        writes = []
+        for data, reset, out, caps in registers:
+            value, known = V[data], K[data]
+            if reset >= 0:
+                clear = K[reset] & ~V[reset]
+                if clear.any():
+                    value = value & ~clear
+                    known = known | clear
+            caps.append((self._word(value), self._word(known)))
+            if defer:
+                writes.append((out, value, known))
+            else:
+                V[out] = value
+                K[out] = known
+        for out, value, known in writes:
+            V[out] = value
+            K[out] = known
+
+
+class NpVectorCycleSimulator(_NpWords, VectorCycleSimulator):
+    """Bit-plane :class:`~repro.sim.vector.VectorCycleSimulator`."""
+
+    trace_name = "sim:vector-np"
+
+
+class NpVectorLatchCycleSimulator(_NpWords, VectorLatchCycleSimulator):
+    """Bit-plane :class:`~repro.sim.vector.VectorLatchCycleSimulator`."""
+
+    trace_name = "sim:vector-np-latch"

@@ -41,10 +41,12 @@ from dataclasses import dataclass, field
 
 from repro.netlist.core import Netlist
 from repro.obs.trace import TRACER
-from repro.sim.backends import EVENT_BACKENDS, make_simulator
+from repro.sim.backends import (EVENT_BACKENDS, make_cycle_simulator,
+                                make_simulator)
+from repro.sim.lanes import resolve_lanes
 from repro.sim.logic import Value
 from repro.sim.sync import CycleSimulator
-from repro.sim.vector import VECTOR_LANES, VectorCycleSimulator, pack_stimuli
+from repro.sim.vector import pack_stimuli
 from repro.testing.stimulus import DEFAULT_SEED, random_stimulus
 from repro.timing.sta import analyze
 from repro.utils.errors import DifferentialError
@@ -239,23 +241,33 @@ def _register_toggles_from_stream(init: int, stream: list[Value]) -> int:
 
 
 def vector_runs(netlist: Netlist, stimuli: list[list[dict[str, Value]]],
-                lanes: int = VECTOR_LANES) -> list[BackendRun]:
+                lanes: int | None = None,
+                cycle_backend: str = "vector") -> list[BackendRun]:
     """Run N stimuli through the vector engine in ``ceil(N/lanes)`` passes.
 
-    Returns one demuxed :class:`BackendRun` per stimulus, in order —
-    the same observables :func:`_run_cycle` reports, so the runs drop
-    straight into :func:`compare_runs`.
+    ``lanes=None`` asks :func:`repro.sim.lanes.resolve_lanes`;
+    ``cycle_backend`` picks the lane-parallel engine (``"vector"``
+    bigint, ``"vector-np"`` numpy bit-planes) — one simulator is built
+    at full width and reset between blocks.  Returns one demuxed
+    :class:`BackendRun` per stimulus, in order — the same observables
+    :func:`_run_cycle` reports, so the runs drop straight into
+    :func:`compare_runs`.
     """
+    if not stimuli:
+        return []
+    lanes = resolve_lanes(netlist, lanes)
     ffs = netlist.dff_instances()
+    sim = make_cycle_simulator(netlist, cycle_backend, lanes=lanes)
     runs: list[BackendRun] = []
     for start in range(0, len(stimuli), lanes):
         block = stimuli[start:start + lanes]
-        sim = VectorCycleSimulator(netlist, lanes=len(block))
+        if start:
+            sim.reset()
         sim.run(len(block[0]), pack_stimuli(block))
         for lane in range(len(block)):
             captures = sim.lane_captures(lane)
             runs.append(BackendRun(
-                backend="vector",
+                backend=cycle_backend,
                 captures=captures,
                 final_state={ff.name: sim.lane_value(ff.output_net().name,
                                                      lane)
@@ -274,6 +286,13 @@ def _run_vector(netlist: Netlist,
     return vector_runs(netlist, [stimulus], lanes=1)[0]
 
 
+def _run_vector_np(netlist: Netlist,
+                   stimulus: list[dict[str, Value]]) -> BackendRun:
+    """Single-stimulus numpy bit-plane runner for the RUNNERS table."""
+    return vector_runs(netlist, [stimulus], lanes=1,
+                       cycle_backend="vector-np")[0]
+
+
 #: Name -> runner.  ``run_differential`` copies and optionally extends
 #: this mapping, so experimental backends plug in without registration.
 RUNNERS: dict[str, Callable[[Netlist, list], BackendRun]] = {
@@ -281,6 +300,7 @@ RUNNERS: dict[str, Callable[[Netlist, list], BackendRun]] = {
     "event": _event_runner("event"),
     "compiled": _event_runner("compiled"),
     "vector": _run_vector,
+    "vector-np": _run_vector_np,
 }
 
 
@@ -498,13 +518,14 @@ def run_differential(netlist: Netlist, cycles: int = 16,
 def run_differential_batch(netlist: Netlist, seeds: Iterable[int],
                            cycles: int = 16,
                            backends: Iterable[str] = DEFAULT_BATCH_BACKENDS,
-                           lanes: int = VECTOR_LANES,
+                           lanes: int | None = None,
                            runners: Mapping[str, Callable] | None = None,
                            minimize: bool = True,
                            ) -> dict[int, DifferentialReport]:
     """Differentially test the vector engine against scalar ``backends``.
 
-    One seeded stimulus per entry of ``seeds``; the vector engine runs
+    One seeded stimulus per entry of ``seeds`` (``lanes=None`` asks
+    :func:`repro.sim.lanes.resolve_lanes`); the vector engine runs
     them all in ``ceil(N / lanes)`` lane-parallel passes, each lane is
     demuxed, and every per-seed run is compared against the scalar
     ``backends`` on the same stimulus (capture streams, final register
@@ -581,7 +602,7 @@ def _dump_async_mismatch(result, stimulus: list[dict[str, Value]],
 
 def run_differential_async(result, seeds: Iterable[int], cycles: int = 10,
                            backend: str = "event",
-                           lanes: int = VECTOR_LANES,
+                           lanes: int | None = None,
                            dump_dir: str | None = None,
                            ) -> dict[int, DifferentialReport]:
     """Differentially test the schedule-replay engine on a desync fabric.

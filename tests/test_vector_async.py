@@ -305,3 +305,57 @@ class TestPackingValidation:
         sim = replay_simulator(result, stimuli, 4)
         with pytest.raises(SimulationError, match="out of range"):
             sim.lane_capture_values(2)
+
+
+class TestLaneWidthPolicy:
+    """Replay width is a tuned parameter: lanes=None resolves through
+    the policy, off-word widths replay correctly, and a wide block
+    width lets tail blocks reuse the compiled segments."""
+
+    def test_default_lanes_resolve(self, monkeypatch):
+        from repro.sim import LANES_ENV, resolve_lanes
+        result = serial_desync("counter6")
+        monkeypatch.delenv(LANES_ENV, raising=False)
+        sim = ScheduleReplaySimulator(result.desync_netlist)
+        assert sim.lanes == resolve_lanes(result.desync_netlist)
+        monkeypatch.setenv(LANES_ENV, "72")
+        assert ScheduleReplaySimulator(result.desync_netlist).lanes == 72
+
+    @pytest.mark.parametrize("lanes", (1, 63, 65, 130))
+    def test_off_word_width_replays(self, lanes):
+        result = serial_desync("counter6")
+        stimuli = [random_stimulus(result.sync_netlist, CYCLES, seed)
+                   for seed in range(min(3, lanes))]
+        streams, engines = desync_streams_batch(result, CYCLES, stimuli,
+                                                lanes=lanes)
+        assert engines == [("replay", None)] * len(stimuli)
+        for stimulus, batched in zip(stimuli, streams):
+            assert batched == desync_streams(result, CYCLES,
+                                             inputs_per_cycle=stimulus)
+
+    def test_explicit_lanes_reach_check_batch(self):
+        result = serial_desync("pipe4x1")
+        narrow = check_flow_equivalence_batch(result, SEEDS, cycles=CYCLES,
+                                              lanes=2)
+        wide = check_flow_equivalence_batch(result, SEEDS, cycles=CYCLES,
+                                            lanes=256)
+        for seed in SEEDS:
+            assert narrow[seed].equivalent == wide[seed].equivalent is True
+            assert narrow[seed].desync_engine == "replay"
+            assert wide[seed].desync_engine == "replay"
+
+    def test_tail_block_reuses_compiled_segments(self):
+        # 5 stimuli at lanes=4: a full block and a 1-stimulus tail.
+        # The tail rides the same full-width compiled segments, so the
+        # second block must add cache hits, not misses.
+        result = serial_desync("counter6")
+        stimuli = [random_stimulus(result.sync_netlist, CYCLES, seed)
+                   for seed in range(5)]
+        misses = METRICS.counter("sim.vector.kernel_cache_misses")
+        first, _ = desync_streams_batch(result, CYCLES, stimuli, lanes=4)
+        base_misses = misses.value
+        second, engines = desync_streams_batch(result, CYCLES, stimuli,
+                                               lanes=4)
+        assert engines == [("replay", None)] * 5
+        assert second == first
+        assert misses.value == base_misses

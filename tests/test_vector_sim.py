@@ -33,15 +33,21 @@ from repro.netlist.cells import GENERIC, CellKind
 from repro.netlist.core import Netlist
 from repro.sim import (
     CYCLE_BACKENDS,
+    HAVE_NUMPY,
+    LANES_ENV,
     CycleSimulator,
     LatchCycleSimulator,
+    NpVectorCycleSimulator,
+    NpVectorLatchCycleSimulator,
     VectorCycleSimulator,
     VectorLatchCycleSimulator,
     make_cycle_simulator,
     pack_lanes,
     pack_stimuli,
+    resolve_lanes,
     unpack_lanes,
 )
+from repro.sim.lanes import TUNING_TABLE
 from repro.testing import (
     RUNNERS,
     random_stimulus,
@@ -53,6 +59,11 @@ from repro.utils.errors import SimulationError
 
 COMB_CELLS = [cell for cell in GENERIC.cells.values()
               if cell.kind is CellKind.COMB]
+
+#: Both word backends where numpy is available; the bigint engine is
+#: always present, the bit-plane engine is a soft dependency.
+WORD_SIMS = [VectorCycleSimulator] + (
+    [NpVectorCycleSimulator] if HAVE_NUMPY else [])
 
 
 class TestPacking:
@@ -82,8 +93,10 @@ class TestPacking:
 class TestCellLaneSemantics:
     """Per-lane X propagation must match eval_ternary on every cell."""
 
+    @pytest.mark.parametrize("sim_cls", WORD_SIMS,
+                             ids=lambda c: c.__name__)
     @pytest.mark.parametrize("cell", COMB_CELLS, ids=lambda c: c.name)
-    def test_all_ternary_combinations(self, cell):
+    def test_all_ternary_combinations(self, cell, sim_cls):
         netlist = Netlist("t")
         for j in range(cell.n_inputs):
             netlist.add_input(f"i{j}")
@@ -93,7 +106,7 @@ class TestCellLaneSemantics:
         netlist.add_output(out.name)
         combos = list(itertools.product((0, 1, None),
                                         repeat=cell.n_inputs))
-        sim = VectorCycleSimulator(netlist, lanes=len(combos))
+        sim = sim_cls(netlist, lanes=len(combos))
         for j in range(cell.n_inputs):
             sim.drive_lanes(f"i{j}", [combo[j] for combo in combos])
         sim.evaluate()
@@ -341,3 +354,161 @@ class TestRegistry:
             sim.set_inputs({"din": (0b11, 0b01)})
         with pytest.raises(SimulationError, match="not an input port"):
             sim.set_inputs({"nonexistent": 1})
+
+
+class TestLaneWidths:
+    """Width is a tuning parameter: demux identity must hold at any
+    lane count — below, at, and past the 64-bit machine word — for
+    both word backends."""
+
+    WIDTHS = (1, 63, 64, 65, 256, 1024)
+    CYCLES = 8
+
+    @pytest.mark.parametrize("sim_cls", WORD_SIMS,
+                             ids=lambda c: c.__name__)
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_demux_identity_at_width(self, width, sim_cls):
+        netlist = generate("crc5")
+        n = min(4, width)  # occupied lanes; the rest stay X
+        stimuli = [random_stimulus(netlist, self.CYCLES, 100 + i)
+                   for i in range(n)]
+        sim = sim_cls(netlist, lanes=width)
+        sim.run(self.CYCLES, pack_stimuli(stimuli))
+        for lane, stimulus in enumerate(stimuli):
+            scalar = CycleSimulator(netlist)
+            scalar.run(self.CYCLES, stimulus)
+            assert sim.lane_captures(lane) == {
+                name: list(stream)
+                for name, stream in scalar.captures.items()}, (width, lane)
+
+    @pytest.mark.parametrize("sim_cls",
+                             [VectorLatchCycleSimulator] +
+                             ([NpVectorLatchCycleSimulator]
+                              if HAVE_NUMPY else []),
+                             ids=lambda c: c.__name__)
+    @pytest.mark.parametrize("width", (63, 65, 130))
+    def test_latch_demux_at_off_word_width(self, width, sim_cls):
+        latched = latchify(generate("mult2"))
+        stimuli = [random_stimulus(latched, self.CYCLES, 200 + i)
+                   for i in range(3)]
+        sim = sim_cls(latched, lanes=width)
+        sim.run(self.CYCLES, pack_stimuli(stimuli))
+        for lane, stimulus in enumerate(stimuli):
+            scalar = LatchCycleSimulator(latched)
+            scalar.run(self.CYCLES, stimulus)
+            assert sim.lane_captures(lane) == {
+                name: list(stream)
+                for name, stream in scalar.captures.items()}, (width, lane)
+
+    @pytest.mark.parametrize("width", (63, 65, 1024))
+    def test_pack_unpack_roundtrip_off_word(self, width):
+        values = [(1, 0, None)[i % 3] for i in range(width)]
+        assert unpack_lanes(pack_lanes(values), width) == values
+
+    @pytest.mark.parametrize("sim_cls", WORD_SIMS,
+                             ids=lambda c: c.__name__)
+    def test_spill_validation_off_word(self, sim_cls):
+        # At lanes=65 the top lane lives in the second machine word:
+        # bit 64 is legal, bit 65 spills.
+        sim = sim_cls(generate("crc5"), lanes=65)
+        sim.set_inputs({"din": (1 << 64, 1 << 64)})
+        assert sim.lane_value("din", 64) == 1
+        with pytest.raises(SimulationError, match="spills outside"):
+            sim.set_inputs({"din": (0, 1 << 65)})
+
+    def test_reset_reproduces_run(self):
+        # One simulator, two identical runs bracketing a reset() —
+        # the contract the batch drivers rely on to reuse a compiled
+        # engine across stimulus blocks.
+        netlist = generate("counter6")
+        stimuli = [random_stimulus(netlist, self.CYCLES, 7)]
+        sim = VectorCycleSimulator(netlist, lanes=8)
+        sim.run(self.CYCLES, pack_stimuli(stimuli))
+        first = sim.lane_captures(0)
+        sim.reset()
+        assert sim.cycles == 0 and all(not caps for caps in
+                                       sim.captures.values())
+        sim.run(self.CYCLES, pack_stimuli(stimuli))
+        assert sim.lane_captures(0) == first
+
+
+class TestResolveLanes:
+    """The lane-width policy: explicit > environment > tuning table."""
+
+    def test_requested_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(LANES_ENV, "128")
+        assert resolve_lanes(generate("lfsr8"), requested=7) == 7
+
+    def test_env_overrides_table(self, monkeypatch):
+        monkeypatch.setenv(LANES_ENV, "96")
+        assert resolve_lanes(generate("lfsr8")) == 96
+
+    def test_env_must_be_positive_integer(self, monkeypatch):
+        monkeypatch.setenv(LANES_ENV, "wide")
+        with pytest.raises(SimulationError, match=LANES_ENV):
+            resolve_lanes()
+        monkeypatch.setenv(LANES_ENV, "0")
+        with pytest.raises(SimulationError, match="must be >= 1"):
+            resolve_lanes()
+
+    def test_table_buckets_by_instance_count(self, monkeypatch):
+        monkeypatch.delenv(LANES_ENV, raising=False)
+        small = resolve_lanes(generate("lfsr8"))   # 9 instances
+        large = resolve_lanes(generate("mult8"))   # 352 instances
+        assert small == dict(TUNING_TABLE)[48]
+        assert large == dict(TUNING_TABLE)[None]
+        assert resolve_lanes() == dict(TUNING_TABLE)[None]
+
+    def test_requested_validated(self):
+        with pytest.raises(SimulationError, match="lane count"):
+            resolve_lanes(requested=0)
+
+    def test_default_flows_into_engines(self, monkeypatch):
+        monkeypatch.delenv(LANES_ENV, raising=False)
+        netlist = generate("lfsr8")
+        assert VectorCycleSimulator(netlist).lanes == \
+            resolve_lanes(netlist)
+        monkeypatch.setenv(LANES_ENV, "80")
+        assert VectorCycleSimulator(netlist).lanes == 80
+
+
+class TestNpBackend:
+    """Registry wiring, the soft numpy dependency, and the kernel
+    cache shared by every compiled engine."""
+
+    def test_registry(self):
+        assert CYCLE_BACKENDS["vector-np"] is NpVectorCycleSimulator
+        assert CYCLE_BACKENDS["vector-np-latch"] is \
+            NpVectorLatchCycleSimulator
+        if HAVE_NUMPY:
+            sim = make_cycle_simulator(generate("lfsr8"), "vector-np",
+                                       lanes=5)
+            assert isinstance(sim, NpVectorCycleSimulator)
+            assert sim.lanes == 5
+
+    def test_missing_numpy_is_a_clear_error(self, monkeypatch):
+        from repro.sim import vector_np
+        monkeypatch.setattr(vector_np, "_np", None)
+        with pytest.raises(SimulationError, match="requires numpy"):
+            NpVectorCycleSimulator(generate("lfsr8"), lanes=4)
+
+    def test_kernel_cache_hits_across_equal_netlists(self):
+        from repro.obs import METRICS
+        hits = METRICS.counter("sim.vector.kernel_cache_hits")
+        misses = METRICS.counter("sim.vector.kernel_cache_misses")
+        base_hits, base_misses = hits.value, misses.value
+        # An unusual width keeps this (fingerprint, lanes) pair out of
+        # every other test's cache traffic.
+        VectorCycleSimulator(generate("counter6"), lanes=41)
+        assert misses.value == base_misses + 1
+        assert hits.value == base_hits
+        # A fresh Netlist object with the same fingerprint must hit.
+        VectorCycleSimulator(generate("counter6"), lanes=41)
+        assert hits.value == base_hits + 1
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_np_differential_runner_registered(self):
+        assert "vector-np" in RUNNERS
+        report = run_differential(generate("crc5"), cycles=10,
+                                  backends=("cycle", "vector-np"))
+        assert report.ok, report.describe()
