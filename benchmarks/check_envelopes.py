@@ -48,6 +48,7 @@ REQUIRED_COLUMNS = {
     "BENCH_pipeline.json": {"lanes"},
     "BENCH_width.json": {"name", "tier", "backend", "lanes",
                          "seeds_per_s", "speedup_vs_64"},
+    "BENCH_jobs.json": {"cache_hit_rate", "reclaimed", "duplicates"},
 }
 
 

@@ -146,6 +146,31 @@ class DesyncOptions:
                 f"names, got {self.sync_banks!r}")
         self.sync_banks = tuple(self.sync_banks)
 
+    def digest(self) -> str:
+        """Stable sha256 of this configuration, for result-cache keys.
+
+        Every field participates, serialized as sorted-key canonical
+        JSON, so the digest is independent of construction details: the
+        declaration order of the dataclass, string-vs-enum ``mode``,
+        list-vs-tuple ``sync_banks``, and explicitly passing a default
+        value all normalize to the same digest — while any *semantic*
+        change to any field changes it.
+        """
+        import hashlib
+        import json
+        from dataclasses import fields
+
+        view: dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, HandshakeMode):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            view[spec.name] = value
+        canonical = json.dumps(view, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class HoldCheck:

@@ -635,6 +635,8 @@ def sweep_pipelines(configs: list[str] | None = None,
                     desync_engine: str = "replay",
                     jobs: int | None = None,
                     lanes: int | None = None,
+                    job_dir: str | None = None,
+                    cache_dir: str | None = None,
                     ) -> tuple[list[str], list[list[object]], dict]:
     """Run a (corpus config x pipeline variant) grid.
 
@@ -685,6 +687,16 @@ def sweep_pipelines(configs: list[str] | None = None,
     (``REPRO_CELL_RETRIES``); a config that keeps failing is quarantined
     — its rows report ``status='quarantined: ...'`` and the executor
     accounting lands in ``summary['executor']``.
+
+    ``job_dir`` (default: ``REPRO_JOB_DIR``) schedules the shards
+    through the durable job store (:mod:`repro.jobs`): independent
+    sweep processes pointed at the same directory cooperate on the
+    grid, dead workers' configs are reclaimed by survivors, and every
+    process returns the complete merged rows.  ``cache_dir`` memoizes
+    whole config shards in the content-addressed result cache, keyed by
+    the netlist fingerprint and a digest of the full grid parameters —
+    a re-run with identical inputs replays rows from the cache instead
+    of rebuilding pipelines.
     """
     from repro.corpus import generate
     from repro.equiv import check_flow_equivalence_batch
@@ -692,6 +704,17 @@ def sweep_pipelines(configs: list[str] | None = None,
     config_names = configs if configs is not None else _registry_names()
     grid = variants if variants is not None else default_variants()
     n_jobs = jobs if jobs is not None else sweep_jobs()
+    if job_dir is None:
+        from repro.jobs import default_job_dir
+        job_dir = default_job_dir()
+    cache = None
+    grid_digest = None
+    if cache_dir:
+        from repro.jobs import ResultCache
+        cache = ResultCache(cache_dir)
+        grid_digest = _sweep_grid_digest(
+            grid, seeds, cycles, backend, max_equiv_instances,
+            hold_rounds, desync_engine, lanes)
     rows: list[list[object]] = []
     statuses: dict[str, int] = {}
     engines: dict[str, int] = {}
@@ -713,14 +736,16 @@ def sweep_pipelines(configs: list[str] | None = None,
     # asserts on exactly that.
     METRICS.counter("sim.replay.fallbacks").inc(0)
     exec_stats = None
+    cache_hits = 0
     with TRACER.span("sweep:grid", configs=len(config_names),
                      variants=len(grid), jobs=n_jobs) as grid_span:
-        if n_jobs > 1 and len(config_names) > 1:
+        if job_dir or (n_jobs > 1 and len(config_names) > 1):
             shard_tracks: dict[int, int] = {}
-            shards, exec_stats = _sweep_sharded(
+            shards, exec_stats, cache_hits = _sweep_sharded(
                 config_names, grid, seeds, cycles, backend,
                 max_equiv_instances, hold_rounds, desync_engine, n_jobs,
-                lanes)
+                lanes, job_dir=job_dir, cache=cache,
+                grid_digest=grid_digest)
             for config, results, events, worker_pid, deltas in shards:
                 for row, stats in results:
                     tally(row, stats)
@@ -736,6 +761,18 @@ def sweep_pipelines(configs: list[str] | None = None,
         else:
             for config in config_names:
                 netlist = generate(config)
+                shard_key = None
+                if cache is not None:
+                    from repro.jobs import MISS, cache_key
+                    shard_key = cache_key(netlist.fingerprint(),
+                                          grid_digest, "sweep")
+                    value = cache.get(shard_key)
+                    if value is not MISS:
+                        cache_hits += 1
+                        for row, stats in value:
+                            tally(row, stats)
+                        continue
+                shard_results = []
                 for variant in grid:
                     with TRACER.span("sweep:cell", config=config,
                                      variant=variant.name) as span:
@@ -747,6 +784,9 @@ def sweep_pipelines(configs: list[str] | None = None,
                         span.set(status=row[status_index],
                                  desync_engine=row[engine_index])
                     tally(row, stats)
+                    shard_results.append([row, stats])
+                if cache is not None:
+                    cache.put(shard_key, shard_results)
         grid_span.set(cells=len(rows))
     for status, count in statuses.items():
         METRICS.counter(f"sweep.status.{status}").inc(count)
@@ -762,7 +802,56 @@ def sweep_pipelines(configs: list[str] | None = None,
     }
     if exec_stats is not None:
         summary["executor"] = exec_stats.as_dict()
+    if job_dir or cache is not None:
+        store_stats = (exec_stats.store_stats or {}) \
+            if exec_stats is not None else {}
+        cache_stats = cache.stats() if cache is not None else {}
+        summary["jobs"] = {
+            "cache_hits": cache_hits,
+            "cache_misses": (len(config_names) - cache_hits
+                             if cache is not None else 0),
+            "cache_hit_rate": (cache_hits / len(config_names)
+                               if cache is not None and config_names
+                               else None),
+            "reclaimed": exec_stats.reclaimed if exec_stats else 0,
+            "duplicates": exec_stats.duplicates if exec_stats else 0,
+            "dead_letter": (len(exec_stats.dead_letter)
+                            if exec_stats else 0),
+            "quarantined_entries": (
+                int(store_stats.get("quarantined", 0))
+                + int(cache_stats.get("quarantined", 0))),
+        }
     return list(SWEEP_COLUMNS), rows, summary
+
+
+def _sweep_grid_digest(grid: list[PipelineVariant],
+                       seeds: tuple[int, ...], cycles: int, backend: str,
+                       max_equiv_instances: int, hold_rounds: int,
+                       desync_engine: str, lanes: int | None) -> str:
+    """Stable digest of everything besides the netlist that shapes a
+    sweep shard's rows — the options component of its cache key."""
+    import hashlib
+    import json
+    view = {
+        "variants": [{
+            "name": variant.name,
+            "pipeline": variant.pipeline,
+            "options": variant.options.digest(),
+            "sync_banks": (variant.sync_banks
+                           if isinstance(variant.sync_banks, str)
+                           else list(variant.sync_banks)),
+            "check_equivalence": variant.check_equivalence,
+        } for variant in grid],
+        "seeds": list(seeds),
+        "cycles": cycles,
+        "backend": backend,
+        "max_equiv_instances": max_equiv_instances,
+        "hold_rounds": hold_rounds,
+        "desync_engine": desync_engine,
+        "lanes": lanes,
+    }
+    canonical = json.dumps(view, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _registry_names() -> list[str]:
@@ -774,17 +863,24 @@ def _sweep_sharded(config_names: list[str], grid: list[PipelineVariant],
                    seeds: tuple[int, ...], cycles: int, backend: str,
                    max_equiv_instances: int, hold_rounds: int,
                    desync_engine: str, jobs: int,
-                   lanes: int | None = None) -> tuple[list[tuple], object]:
+                   lanes: int | None = None,
+                   job_dir: str | None = None,
+                   cache=None,
+                   grid_digest: str | None = None,
+                   ) -> tuple[list[tuple], object, int]:
     """Dispatch one task per config through the resilient executor.
 
-    Returns ``(shards, executor_stats)`` with shards in grid
-    (submission) order — the merge is deterministic by construction,
-    whatever order the shards finish in.  Scheduling runs on
-    :func:`repro.faults.run_cells`: a config whose worker hangs past
+    Returns ``(shards, executor_stats, cache_hits)`` with shards in
+    grid (submission) order — the merge is deterministic by
+    construction, whatever order the shards finish in.  Scheduling runs
+    on :func:`repro.faults.run_cells`: a config whose worker hangs past
     ``REPRO_CELL_TIMEOUT`` or crashes the pool is retried
     (``REPRO_CELL_RETRIES``) and, if it keeps failing, quarantined —
     its variants come back as rows with status ``'quarantined: ...'``
-    instead of taking the whole sweep down.
+    instead of taking the whole sweep down.  With ``job_dir`` the
+    executor runs in durable multi-process mode; cached shards are then
+    pre-published into the job store so every cooperating sweep process
+    keeps the identical task manifest.
     """
     # Deferred: repro.faults.executor imports repro.obs only, but the
     # repro.faults package re-exports the campaign driver, which imports
@@ -800,24 +896,63 @@ def _sweep_sharded(config_names: list[str], grid: list[PipelineVariant],
                        max_equiv_instances, hold_rounds, desync_engine,
                        lanes))
              for config in config_names]
+
+    cached: dict[str, list] = {}
+    shard_keys: dict[str, str] = {}
+    if cache is not None:
+        from repro.corpus import generate
+        from repro.jobs import MISS, cache_key
+        for config in config_names:
+            shard_keys[config] = cache_key(
+                generate(config).fingerprint(), grid_digest, "sweep")
+            value = cache.get(shard_keys[config])
+            if value is not MISS:
+                cached[config] = value
+
     policy = ExecutorPolicy(jobs=min(jobs, len(tasks)),
                             timeout=cell_timeout(),
-                            retries=cell_retries())
-    outcomes, stats = run_cells(tasks, _sweep_config_task, policy,
-                                initializer=_sweep_worker_init,
-                                initargs=(TRACER.enabled,),
-                                metric_prefix="sweep.executor")
+                            retries=cell_retries(),
+                            job_dir=job_dir)
+    if job_dir:
+        dispatch = tasks
+        if cached:
+            from repro.jobs import JobStore
+            store = JobStore(job_dir, ttl=policy.lease_ttl)
+            store.ensure_tasks(config_names)
+            durable = store.collect()
+            for config, results in cached.items():
+                if config not in durable:
+                    store.complete(
+                        config, [config, results, [], 0, {}], 0)
+    else:
+        dispatch = [(config, payload) for config, payload in tasks
+                    if config not in cached]
+    if dispatch:
+        outcomes, stats = run_cells(dispatch, _sweep_config_task, policy,
+                                    initializer=_sweep_worker_init,
+                                    initargs=(TRACER.enabled,),
+                                    metric_prefix="sweep.executor")
+    else:
+        from repro.faults.executor import ExecutorStats
+        outcomes, stats = {}, ExecutorStats()
+
     shards = []
     for config in config_names:
+        if config in cached and config not in outcomes:
+            shards.append((config, cached[config], [], 0, {}))
+            continue
         outcome = outcomes[config]
         if outcome.status == "ok" and outcome.value is not None:
-            shards.append(tuple(outcome.value))
+            shard = tuple(outcome.value)
+            shards.append(shard)
+            if cache is not None and config not in cached:
+                cache.put(shard_keys[config], shard[1])
         else:
             results = [(_quarantined_row(config, variant, outcome.error),
                         {"engines": {}, "reasons": {}})
                        for variant in grid]
             shards.append((config, results, [], 0, {}))
-    return shards, stats
+    return shards, stats, len(cached)
 
 
 def _quarantined_row(config: str, variant: PipelineVariant,

@@ -4,7 +4,9 @@ Three layers (see the module docstrings for the full story):
 
 * :mod:`repro.faults.executor` — :func:`run_cells`, the hardened
   process-pool loop with per-cell timeouts, crash recovery, bounded
-  retry, quarantine and a resumable JSONL checkpoint;
+  retry, quarantine and a resumable JSONL checkpoint — plus a durable
+  multi-process mode (:attr:`ExecutorPolicy.job_dir`) scheduled through
+  the :mod:`repro.jobs` store;
 * :mod:`repro.faults.inject` — stuck-at / glitch injection on the
   handshake controller nets, detected through the flow-equivalence
   checker;
@@ -19,6 +21,7 @@ from repro.faults.campaign import (
     CampaignReport,
     CampaignSpec,
     campaign_cells,
+    campaign_options,
     run_campaign,
 )
 from repro.faults.executor import (
@@ -51,6 +54,7 @@ __all__ = [
     "CONTROL_PREFIXES", "CampaignReport", "CampaignSpec", "CellOutcome",
     "ExecutorPolicy", "ExecutorStats", "FAULT_KINDS", "FaultSite",
     "GLITCH_PREFIXES", "arm_glitch", "arm_stuck", "campaign_cells",
+    "campaign_options",
     "cell_retries", "cell_timeout", "control_nets", "glitch_trials",
     "load_checkpoint", "profile_net", "run_campaign", "run_cells",
     "run_detection", "sample_control_nets",

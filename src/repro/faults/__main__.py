@@ -15,6 +15,13 @@ Examples::
         --checkpoint /tmp/faults.jsonl
     PYTHONPATH=src python -m repro.faults --configs pipe4x1 counter6 \
         --checkpoint /tmp/faults.jsonl --resume
+
+    # two cooperating worker processes on one durable job dir, with a
+    # shared content-addressed result cache
+    PYTHONPATH=src python -m repro.faults --tier core \
+        --job-dir /tmp/jobs --cache-dir /tmp/cache &
+    PYTHONPATH=src python -m repro.faults --tier core \
+        --job-dir /tmp/jobs --cache-dir /tmp/cache
 """
 
 from __future__ import annotations
@@ -64,6 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSONL checkpoint for --resume")
     parser.add_argument("--resume", action="store_true",
                         help="skip cells already in --checkpoint")
+    parser.add_argument("--job-dir", metavar="DIR", default=None,
+                        help="shared durable job directory: processes "
+                             "started with the same --job-dir cooperate "
+                             "on the campaign (default: REPRO_JOB_DIR)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result cache; cells "
+                             "already computed for the same netlist and "
+                             "options are served from it")
+    parser.add_argument("--worker-id", metavar="NAME", default=None,
+                        help="stable worker identity in --job-dir")
+    parser.add_argument("--lease-ttl", type=float, default=None,
+                        help="seconds before a silent worker's cells "
+                             "are reclaimed (default: REPRO_LEASE_TTL)")
     parser.add_argument("--out", metavar="PATH",
                         default="benchmarks/out/BENCH_faults.json",
                         help="envelope path (a .txt table is written "
@@ -84,7 +104,10 @@ def main(argv: list[str] | None = None) -> int:
     METRICS.reset()  # the envelope's metrics block is this run's alone
     report = run_campaign(spec, jobs=args.jobs,
                           checkpoint=args.checkpoint, resume=args.resume,
-                          timeout=args.timeout, retries=args.retries)
+                          timeout=args.timeout, retries=args.retries,
+                          job_dir=args.job_dir, cache_dir=args.cache_dir,
+                          worker_id=args.worker_id,
+                          lease_ttl=args.lease_ttl)
 
     table = TextTable("BENCH faults - delay/fault campaign",
                       report.columns)

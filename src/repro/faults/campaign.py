@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.faults.executor import (
     CellOutcome,
     ExecutorPolicy,
+    ExecutorStats,
     cell_retries,
     cell_timeout,
     run_cells,
@@ -175,24 +176,33 @@ def _campaign_worker_init() -> None:
     _RESULT_CACHE.clear()
 
 
+def campaign_options(netlist):
+    """The serial-mode flow options a campaign uses for ``netlist``.
+
+    Shared between the worker (which builds the pipeline) and the
+    driver (which derives result-cache keys from
+    :meth:`~repro.desync.flow.DesyncOptions.digest` without building
+    anything), so the cache key always reflects the options actually
+    run.
+    """
+    from repro.desync.flow import DesyncOptions, HandshakeMode
+    from repro.desync.pipeline import MODEL_VALIDATION_BANK_CAP
+    from repro.netlist import iter_register_banks
+    if sum(1 for _ in iter_register_banks(netlist)) \
+            > MODEL_VALIDATION_BANK_CAP:
+        return DesyncOptions(mode=HandshakeMode.SERIAL,
+                             validate_model=False)
+    return DesyncOptions(mode=HandshakeMode.SERIAL)
+
+
 def _campaign_result(config: str):
     result = _RESULT_CACHE.get(config)
     if result is None:
         from repro.corpus import generate
-        from repro.desync.flow import DesyncOptions, HandshakeMode
-        from repro.desync.pipeline import (
-            MODEL_VALIDATION_BANK_CAP,
-            make_result,
-            run_pipeline,
-        )
-        from repro.netlist import iter_register_banks
+        from repro.desync.pipeline import make_result, run_pipeline
         netlist = generate(config)
-        options = DesyncOptions(mode=HandshakeMode.SERIAL)
-        if sum(1 for _ in iter_register_banks(netlist)) \
-                > MODEL_VALIDATION_BANK_CAP:
-            options = DesyncOptions(mode=HandshakeMode.SERIAL,
-                                    validate_model=False)
-        result = make_result(run_pipeline(netlist, options))
+        result = make_result(run_pipeline(netlist,
+                                          campaign_options(netlist)))
         _RESULT_CACHE[config] = result
     return result
 
@@ -345,10 +355,40 @@ class CampaignReport:
     quarantined: list[str] = field(default_factory=list)
 
 
+def _campaign_cache_keys(cells: list[tuple[str, dict]]) -> dict[str, str]:
+    """Content address of every campaign cell, computed driver-side.
+
+    The netlist is generated in the parent (cheap — the expensive part
+    is desynchronizing it, which is exactly what the cache skips) so
+    the key can be derived from its structural fingerprint plus the
+    digest of the flow options and the full cell payload.
+    """
+    from repro.corpus import generate
+    from repro.jobs import cache_key, payload_digest
+    per_config: dict[str, tuple[str, str]] = {}
+    keys: dict[str, str] = {}
+    for key, payload in cells:
+        config = payload["config"]
+        if config not in per_config:
+            netlist = generate(config)
+            per_config[config] = (netlist.fingerprint(),
+                                  campaign_options(netlist).digest())
+        fingerprint, options_digest = per_config[config]
+        keys[key] = cache_key(
+            fingerprint,
+            f"{options_digest}:{payload_digest(payload)}",
+            "campaign")
+    return keys
+
+
 def run_campaign(spec: CampaignSpec, jobs: int | None = None,
                  checkpoint: str | None = None, resume: bool = False,
                  timeout: float | None = None,
-                 retries: int | None = None) -> CampaignReport:
+                 retries: int | None = None,
+                 job_dir: str | None = None,
+                 cache_dir: str | None = None,
+                 worker_id: str | None = None,
+                 lease_ttl: float | None = None) -> CampaignReport:
     """Run a fault-injection campaign through the resilient executor.
 
     ``timeout``/``retries`` default to the ``REPRO_CELL_TIMEOUT`` /
@@ -358,20 +398,78 @@ def run_campaign(spec: CampaignSpec, jobs: int | None = None,
     order, so a resumed run's envelope is comparable row-for-row
     (modulo the wall-time fields) with an uninterrupted one.
     Quarantined cells become rows with status ``"quarantined: ..."``.
+
+    ``job_dir`` (default :data:`repro.jobs.JOB_DIR_ENV` when no
+    checkpoint is in play) routes scheduling through the durable job
+    store: several processes running the same campaign against one
+    directory cooperate, crashed workers are reclaimed, and every
+    process returns the complete merged report.  ``cache_dir`` points
+    at a content-addressed result cache — cells whose (netlist
+    fingerprint, options digest, payload) was already computed are
+    served from the cache instead of re-run.  In durable mode, cache
+    hits are pre-published into the job store so every cooperating
+    worker keeps the identical task manifest.
     """
     from repro.desync.pipeline import sweep_jobs
     cells = campaign_cells(spec)
+    if job_dir is None and not checkpoint:
+        from repro.jobs import default_job_dir
+        job_dir = default_job_dir()
+
+    cache = None
+    cache_keys: dict[str, str] = {}
+    cached: dict[str, CellOutcome] = {}
+    if cache_dir:
+        from repro.jobs import MISS, ResultCache
+        cache = ResultCache(cache_dir)
+        cache_keys = _campaign_cache_keys(cells)
+        for key, _ in cells:
+            value = cache.get(cache_keys[key])
+            if value is not MISS:
+                cached[key] = CellOutcome(key=key, status="ok",
+                                          value=value, attempts=0)
+
     policy = ExecutorPolicy(
         jobs=jobs if jobs is not None else sweep_jobs(),
         timeout=timeout if timeout is not None else cell_timeout(),
         retries=retries if retries is not None else cell_retries(),
-        checkpoint=checkpoint, resume=resume)
+        checkpoint=checkpoint, resume=resume, job_dir=job_dir,
+        worker_id=worker_id, lease_ttl=lease_ttl)
+
+    if job_dir:
+        # Every cooperating worker must bring the identical manifest,
+        # so cache hits are pre-published as durable results instead of
+        # being dropped from the task list (a later-starting worker
+        # would otherwise see a different, mismatching cell set).
+        dispatch = cells
+        if cached:
+            from repro.jobs import JobStore
+            store = JobStore(job_dir, worker_id=worker_id, ttl=lease_ttl)
+            store.ensure_tasks([key for key, _ in cells])
+            durable = store.collect()
+            for key, outcome in cached.items():
+                if key not in durable:
+                    store.complete(key, outcome.value, 0)
+    else:
+        dispatch = [(key, payload) for key, payload in cells
+                    if key not in cached]
+
     with TRACER.span("faults:campaign", cells=len(cells),
-                     configs=len(spec.configs), jobs=policy.jobs):
-        outcomes, stats = run_cells(
-            cells, _campaign_cell, policy,
-            initializer=_campaign_worker_init,
-            metric_prefix="faults.executor")
+                     configs=len(spec.configs), jobs=policy.jobs,
+                     cache_hits=len(cached)):
+        if dispatch:
+            outcomes, stats = run_cells(
+                dispatch, _campaign_cell, policy,
+                initializer=_campaign_worker_init,
+                metric_prefix="faults.executor")
+        else:
+            outcomes, stats = {}, ExecutorStats()
+    for key, outcome in cached.items():
+        outcomes.setdefault(key, outcome)
+    if cache is not None:
+        for key, outcome in outcomes.items():
+            if key not in cached and outcome.status == "ok":
+                cache.put(cache_keys[key], outcome.value)
 
     rows: list[list[object]] = []
     counts: dict[str, dict[str, int]] = {}
@@ -386,6 +484,8 @@ def run_campaign(spec: CampaignSpec, jobs: int | None = None,
         if kind == "margin" and status in ("cliff", "no-cliff"):
             margins[row["config"]] = row["margin"]
 
+    store_stats = stats.store_stats or {}
+    cache_stats = cache.stats() if cache is not None else {}
     summary = {
         "cells": len(cells),
         "statuses": {kind: dict(sorted(states.items()))
@@ -395,6 +495,19 @@ def run_campaign(spec: CampaignSpec, jobs: int | None = None,
         "margins": dict(sorted(margins.items())),
         "quarantined": list(stats.quarantined),
         "executor": stats.as_dict(),
+        "jobs": {
+            "cache_hits": len(cached),
+            "cache_misses": (len(cells) - len(cached)
+                             if cache is not None else 0),
+            "cache_hit_rate": (len(cached) / len(cells)
+                               if cache is not None and cells else None),
+            "reclaimed": stats.reclaimed,
+            "duplicates": stats.duplicates,
+            "dead_letter": len(stats.dead_letter),
+            "quarantined_entries": (
+                int(store_stats.get("quarantined", 0))
+                + int(cache_stats.get("quarantined", 0))),
+        },
     }
     for kind, states in counts.items():
         for status, count in states.items():
@@ -413,11 +526,13 @@ def _outcome_row(key: str, payload: dict, outcome: CellOutcome) -> dict:
         row = {column: outcome.value.get(column)
                for column in CAMPAIGN_COLUMNS}
     else:
+        label = ("dead-letter" if outcome.status == "dead-letter"
+                 else "quarantined")
         row = {column: None for column in CAMPAIGN_COLUMNS}
         row.update(cell=key, kind=payload["kind"],
                    config=payload["config"], target=payload["target"],
                    param=payload["param"], seed=payload["seed"],
-                   status=f"quarantined: {outcome.error}"[:160],
+                   status=f"{label}: {outcome.error}"[:160],
                    wall_ms=0.0)
     row["attempts"] = outcome.attempts
     return row

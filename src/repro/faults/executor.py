@@ -22,21 +22,32 @@ from zero after an interrupt.  :func:`run_cells` hardens that loop:
 * **JSONL checkpoint**: every completed cell is appended (flushed and
   fsynced) to a checkpoint file, so an interrupted run restarted with
   ``resume=True`` skips exactly the finished cells.  A torn final line
-  (the interrupt landed mid-write) is tolerated and re-run.
+  (the interrupt landed mid-write) is tolerated and re-run; a
+  *duplicated* line (the kill landed between the append and the
+  scheduler noticing) is deduped keep-last and counted;
+* **durable multi-process mode**: setting :attr:`ExecutorPolicy.job_dir`
+  swaps the private checkpoint for a shared
+  :class:`repro.jobs.store.JobStore` — several independent OS processes
+  pointed at the same directory cooperate on one task list with
+  lease-based claiming, expired-lease reclamation (a ``SIGKILL``-ed
+  worker's cells are re-run by survivors), first-durable-result-wins
+  idempotent completion, and a cross-worker dead-letter state for cells
+  that exhaust their retries.
 
 Everything is surfaced: tracer spans per run, ``<prefix>.*`` metrics
-counters (timeouts, crashes, retries, quarantined, resumed), and an
-:class:`ExecutorStats` summary.
+counters (timeouts, crashes, retries, quarantined, resumed, reclaimed,
+duplicates, dead_letter), and an :class:`ExecutorStats` summary.
 
-This module deliberately imports only the standard library and
-:mod:`repro.obs` so that :mod:`repro.desync.pipeline` can use it without
-an import cycle.
+This module deliberately imports only the standard library,
+:mod:`repro.obs`, and (lazily) :mod:`repro.jobs` so that
+:mod:`repro.desync.pipeline` can use it without an import cycle.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -60,7 +71,8 @@ DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF = 0.25
 
 _STAT_COUNTERS = ("timeouts", "crashes", "retries", "quarantined",
-                  "resumed", "completed")
+                  "resumed", "completed", "reclaimed", "duplicates",
+                  "dead_letter")
 
 
 def cell_timeout(default: float | None = None) -> float | None:
@@ -106,6 +118,16 @@ class ExecutorPolicy:
             be JSON-serializable); ``None`` disables checkpointing.
         resume: load ``checkpoint`` first and skip its completed cells.
         poll: scheduler wake-up period in seconds (timeout granularity).
+        job_dir: shared durable job directory; when set, scheduling goes
+            through a :class:`repro.jobs.store.JobStore` and multiple
+            processes given the same directory cooperate on the task
+            list.  The job dir *is* the durable checkpoint, so
+            ``checkpoint``/``resume`` must stay unset.
+        worker_id: stable identity in the job dir (defaults to a
+            pid-derived name).
+        lease_ttl: seconds a claimed cell may go un-renewed before
+            surviving workers reclaim it (defaults to
+            :data:`repro.jobs.store.LEASE_TTL_ENV` or 10s).
     """
 
     jobs: int = 2
@@ -115,6 +137,9 @@ class ExecutorPolicy:
     checkpoint: str | None = None
     resume: bool = False
     poll: float = 0.05
+    job_dir: str | None = None
+    worker_id: str | None = None
+    lease_ttl: float | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -127,16 +152,26 @@ class ExecutorPolicy:
                 f"got {self.timeout}")
         if self.resume and not self.checkpoint:
             raise ExecutorError("resume=True requires a checkpoint path")
+        if self.job_dir and self.checkpoint:
+            raise ExecutorError(
+                "job_dir and checkpoint are mutually exclusive: the job "
+                "directory is the durable checkpoint")
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ExecutorError(
+                f"lease_ttl must be positive seconds or None, "
+                f"got {self.lease_ttl}")
 
 
 @dataclass
 class CellOutcome:
     """Terminal state of one cell.
 
-    ``status`` is ``"ok"`` (``value`` holds the worker's return) or
+    ``status`` is ``"ok"`` (``value`` holds the worker's return),
     ``"quarantined"`` (``error`` holds the last failure; the cell used
-    up every retry).  ``attempts`` counts executions charged to the
-    cell; ``from_checkpoint`` marks results restored by ``resume``.
+    up every retry), or — durable mode only — ``"dead-letter"`` (the
+    cell exhausted its retry budget *across workers*).  ``attempts``
+    counts executions charged to the cell; ``from_checkpoint`` marks
+    results restored by ``resume``.
     """
 
     key: str
@@ -157,25 +192,48 @@ class ExecutorStats:
     crashes: int = 0
     retries: int = 0
     quarantined: list[str] = field(default_factory=list)
+    #: Checkpoint lines whose key had already been restored (a kill can
+    #: land between the fsynced append and the scheduler noticing).
+    checkpoint_duplicates: int = 0
+    #: Durable mode: expired leases this worker stole from dead peers.
+    reclaimed: int = 0
+    #: Durable mode: results another worker durably published first.
+    duplicates: int = 0
+    #: Durable mode: cells that exhausted retries across all workers.
+    dead_letter: list[str] = field(default_factory=list)
+    #: Durable mode: the underlying job store's own accounting.
+    store_stats: dict[str, int] | None = None
 
     def as_dict(self) -> dict[str, Any]:
-        return {"completed": self.completed, "resumed": self.resumed,
+        view = {"completed": self.completed, "resumed": self.resumed,
                 "timeouts": self.timeouts, "crashes": self.crashes,
                 "retries": self.retries,
-                "quarantined": list(self.quarantined)}
+                "quarantined": list(self.quarantined),
+                "checkpoint_duplicates": self.checkpoint_duplicates,
+                "reclaimed": self.reclaimed,
+                "duplicates": self.duplicates,
+                "dead_letter": list(self.dead_letter)}
+        if self.store_stats is not None:
+            view["store"] = dict(self.store_stats)
+        return view
 
 
-def load_checkpoint(path: str) -> dict[str, CellOutcome]:
+def load_checkpoint(path: str) -> tuple[dict[str, CellOutcome], int]:
     """Completed ``"ok"`` outcomes from a JSONL checkpoint.
 
-    Tolerates a torn final line (a kill can land mid-append): parsing
-    stops at the first undecodable line and everything after it is
-    treated as not yet run.  Quarantined lines are *not* restored — a
+    Returns ``(outcomes, duplicates)``.  Tolerates a torn final line (a
+    kill can land mid-append): parsing stops at the first undecodable
+    line and everything after it is treated as not yet run.  Tolerates
+    a *duplicated* line (the kill landed after the fsynced append but
+    before the completion was acknowledged, so the restarted run
+    re-appended it): lines are deduped by cell key keep-last and the
+    collisions are counted.  Quarantined lines are *not* restored — a
     resumed run gets a fresh chance at them.
     """
     outcomes: dict[str, CellOutcome] = {}
+    duplicates = 0
     if not os.path.exists(path):
-        return outcomes
+        return outcomes, duplicates
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -189,11 +247,13 @@ def load_checkpoint(path: str) -> dict[str, CellOutcome]:
                 break
             if entry.get("status") != "ok":
                 continue
+            if entry["key"] in outcomes:
+                duplicates += 1
             outcomes[entry["key"]] = CellOutcome(
                 key=entry["key"], status="ok", value=entry.get("value"),
                 attempts=int(entry.get("attempts", 1)),
                 from_checkpoint=True)
-    return outcomes
+    return outcomes, duplicates
 
 
 @dataclass
@@ -226,10 +286,15 @@ def run_cells(tasks: list[tuple[str, Any]],
     for name in _STAT_COUNTERS:
         METRICS.counter(f"{metric_prefix}.{name}").inc(0)
 
+    if policy.job_dir:
+        return _run_cells_durable(tasks, worker, policy, initializer,
+                                  initargs, metric_prefix)
+
     outcomes: dict[str, CellOutcome] = {}
     stats = ExecutorStats()
     if policy.checkpoint and policy.resume:
-        restored = load_checkpoint(policy.checkpoint)
+        restored, stats.checkpoint_duplicates = load_checkpoint(
+            policy.checkpoint)
         for key, _ in tasks:
             if key in restored:
                 outcomes[key] = restored[key]
@@ -381,7 +446,233 @@ def run_cells(tasks: list[tuple[str, Any]],
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = make_pool()
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            _drain_pool(pool, inflight)
             if ckpt is not None:
                 ckpt.close()
+    return outcomes, stats
+
+
+def _drain_pool(pool: ProcessPoolExecutor, inflight: dict) -> None:
+    """Tear a pool down deterministically before returning.
+
+    ``shutdown(wait=False)`` leaves the executor's management thread
+    running, and joining it lazily at interpreter exit races the
+    worker-wakeup handshake — a forked campaign driver can hang forever
+    in ``concurrent.futures``' atexit hook.  Joining here, while the
+    process is fully alive, is race-free.  Cells still running (their
+    results are already durable elsewhere, or the caller is unwinding
+    an error) get their workers killed rather than waited out.
+    """
+    if any(not future.done() for future in inflight):
+        for process in list(pool._processes.values()):
+            process.kill()
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_cells_durable(tasks: list[tuple[str, Any]],
+                       worker: Callable[[Any], Any],
+                       policy: ExecutorPolicy,
+                       initializer: Callable | None,
+                       initargs: tuple,
+                       metric_prefix: str,
+                       ) -> tuple[dict[str, CellOutcome], ExecutorStats]:
+    """:func:`run_cells` scheduled through a shared durable job store.
+
+    Each cooperating process runs this same loop against one job
+    directory: claim a cell under a lease, run it on the local fork
+    pool, publish the result first-wins, and ingest every outcome other
+    workers have durably published — so every process returns the
+    *complete* merged outcome map regardless of who computed what.
+    Contended claims back off exponentially with jitter; leases of dead
+    or frozen workers are reclaimed after the TTL; cells that exhaust
+    their retry budget across all workers land in the dead-letter state.
+    """
+    from repro.jobs.store import JobStore
+
+    store = JobStore(policy.job_dir, worker_id=policy.worker_id,
+                     ttl=policy.lease_ttl)
+    keys = [key for key, _ in tasks]
+    store.ensure_tasks(keys)
+    payloads = dict(tasks)
+    rng = random.Random(store.worker)  # jitter stream, seeded per worker
+
+    outcomes: dict[str, CellOutcome] = {}
+    stats = ExecutorStats()
+    contention: dict[str, int] = {}    # key -> consecutive contended claims
+    not_before: dict[str, float] = {}  # key -> next local claim attempt
+    last_renew: dict[str, float] = {}  # key -> last lease renewal
+    renew_every = max(store.ttl / 3.0, policy.poll)
+    beat_every = max(min(store.ttl / 3.0, 1.0), policy.poll)
+    last_beat = float("-inf")
+
+    def claim_backoff(key: str) -> None:
+        streak = contention.get(key, 0) + 1
+        contention[key] = streak
+        delay = policy.backoff * (2 ** min(streak - 1, 6))
+        delay *= 1.0 + rng.random() * 0.5  # jitter breaks claim lockstep
+        # Capped at the TTL so an expired lease is never left unclaimed.
+        not_before[key] = time.monotonic() + min(delay, store.ttl)
+
+    def charge_failure(key: str, attempt: int, error: str) -> None:
+        if store.fail(key, error, policy.retries) == "retry":
+            stats.retries += 1
+            METRICS.counter(f"{metric_prefix}.retries").inc()
+            not_before[key] = time.monotonic() \
+                + policy.backoff * (2 ** (attempt - 1))
+        # dead-letter: the durable entry is ingested on the next pass
+
+    def publish(key: str, value: Any, attempt: int) -> None:
+        outcomes[key] = CellOutcome(key=key, status="ok", value=value,
+                                    attempts=attempt)
+        if store.complete(key, value, attempt):
+            stats.completed += 1
+            METRICS.counter(f"{metric_prefix}.completed").inc()
+        else:
+            stats.duplicates += 1
+            METRICS.counter(f"{metric_prefix}.duplicates").inc()
+
+    def ingest() -> None:
+        for key, durable in store.collect(known=set(outcomes)).items():
+            if durable.status == "done":
+                outcomes[key] = CellOutcome(
+                    key=key, status="ok", value=durable.value,
+                    attempts=durable.attempts)
+            else:
+                outcomes[key] = CellOutcome(
+                    key=key, status="dead-letter",
+                    attempts=durable.attempts, error=durable.error)
+                stats.dead_letter.append(key)
+                METRICS.counter(f"{metric_prefix}.dead_letter").inc()
+                TRACER.instant("executor:dead-letter", key=key,
+                               error=durable.error or "")
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=policy.jobs, mp_context=get_context("fork"),
+            initializer=initializer, initargs=initargs)
+
+    with TRACER.span("executor:durable-run", cells=len(tasks),
+                     jobs=policy.jobs, worker=store.worker,
+                     ttl=store.ttl, timeout=policy.timeout or 0.0):
+        pool = make_pool()
+        # future -> (key, store attempt, wall-clock deadline or None)
+        inflight: dict[Any, tuple[str, int, float | None]] = {}
+        mine: set[str] = set()  # keys currently leased by this worker
+        try:
+            while len(outcomes) < len(keys):
+                now = time.monotonic()
+                if now - last_beat >= beat_every:
+                    store.heartbeat()
+                    last_beat = now
+                ingest()
+                for key in mine:
+                    if now - last_renew.get(key, 0.0) >= renew_every:
+                        store.renew(key)
+                        last_renew[key] = now
+                for key in keys:
+                    if len(inflight) >= policy.jobs:
+                        break
+                    if key in outcomes or key in mine:
+                        continue
+                    if not_before.get(key, 0.0) > now:
+                        continue
+                    claim = store.claim(key, policy.retries)
+                    if claim.state == "held":
+                        claim_backoff(key)
+                        continue
+                    if claim.state != "acquired":
+                        continue  # done/dead: ingested on the next pass
+                    contention.pop(key, None)
+                    if claim.reclaimed:
+                        stats.reclaimed += 1
+                        METRICS.counter(f"{metric_prefix}.reclaimed").inc()
+                        TRACER.instant("executor:reclaim", key=key,
+                                       attempt=claim.attempt)
+                    try:
+                        future = pool.submit(worker, payloads[key])
+                    except BrokenProcessPool:
+                        store.release(key)
+                        pool = make_pool()
+                        break
+                    deadline = (now + policy.timeout
+                                if policy.timeout is not None else None)
+                    inflight[future] = (key, claim.attempt, deadline)
+                    mine.add(key)
+                    last_renew[key] = now
+                if not inflight:
+                    time.sleep(policy.poll)
+                    continue
+
+                done, _ = wait(set(inflight), timeout=policy.poll,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    key, attempt, _ = inflight.pop(future)
+                    mine.discard(key)
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        charge_failure(key, attempt,
+                                       "worker process crashed")
+                    except Exception as exc:
+                        charge_failure(key, attempt,
+                                       f"{type(exc).__name__}: {exc}")
+                    else:
+                        publish(key, value, attempt)
+                if broken:
+                    stats.crashes += 1
+                    METRICS.counter(f"{metric_prefix}.crashes").inc()
+                    TRACER.instant("executor:pool-crash",
+                                   inflight=len(inflight))
+                    for future, (key, attempt, _) in list(inflight.items()):
+                        mine.discard(key)
+                        charge_failure(
+                            key, attempt,
+                            "worker process crashed (pool broken)")
+                    inflight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = make_pool()
+                    continue
+
+                now = time.monotonic()
+                expired = [future
+                           for future, (_, _, deadline) in inflight.items()
+                           if deadline is not None and now > deadline
+                           and not future.done()]
+                if expired:
+                    for future in expired:
+                        key, attempt, _ = inflight.pop(future)
+                        mine.discard(key)
+                        stats.timeouts += 1
+                        METRICS.counter(f"{metric_prefix}.timeouts").inc()
+                        TRACER.instant("executor:timeout", key=key,
+                                       attempt=attempt)
+                        charge_failure(
+                            key, attempt,
+                            f"timed out after {policy.timeout:.3g}s"
+                            f" (attempt {attempt})")
+                    for future, (key, attempt, _) in list(inflight.items()):
+                        mine.discard(key)
+                        if future.done():
+                            try:
+                                value = future.result()
+                            except Exception as exc:
+                                charge_failure(
+                                    key, attempt,
+                                    f"{type(exc).__name__}: {exc}")
+                            else:
+                                publish(key, value, attempt)
+                        else:
+                            # Bystander killed with the pool: release the
+                            # lease uncharged so anyone may re-claim it.
+                            store.release(key)
+                    inflight.clear()
+                    for process in list(pool._processes.values()):
+                        process.kill()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = make_pool()
+        finally:
+            _drain_pool(pool, inflight)
+    stats.store_stats = store.stats.as_dict()
     return outcomes, stats

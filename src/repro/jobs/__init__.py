@@ -1,0 +1,51 @@
+"""Durable job store, content-addressed result cache, chaos harness.
+
+``repro.jobs`` turns the resilient in-process executor
+(:mod:`repro.faults.executor`) into a restartable multi-process work
+fabric: several independent OS processes pointed at one *job directory*
+cooperate on a task list, crashed or frozen workers have their leases
+reclaimed by survivors, results are published first-wins (duplicates
+detected and counted, never clobbered), and pure computations are
+memoized in a checksummed content-addressed cache.  A seeded chaos
+harness (:mod:`repro.jobs.chaos`) injects torn writes, checksum
+corruption and fsync denial so the recovery paths stay honest.
+"""
+
+from repro.jobs.cache import CACHE_EPOCH, MISS, ResultCache, cache_key
+from repro.jobs.chaos import (CHAOS_ENV, ChaosInjector, ChaosPolicy,
+                              chaos_from_env)
+from repro.jobs.fsio import (QUARANTINE_DIR, encode_entry, payload_digest,
+                             publish_entry, quarantine, read_entry,
+                             replace_entry)
+from repro.jobs.store import (DEFAULT_LEASE_TTL, JOB_DIR_ENV, LEASE_TTL_ENV,
+                              Claim, JobStore, StoreOutcome, StoreStats,
+                              default_job_dir, lease_ttl)
+from repro.utils.errors import JobStoreError
+
+__all__ = [
+    "CACHE_EPOCH",
+    "CHAOS_ENV",
+    "Claim",
+    "ChaosInjector",
+    "ChaosPolicy",
+    "DEFAULT_LEASE_TTL",
+    "JOB_DIR_ENV",
+    "JobStore",
+    "JobStoreError",
+    "LEASE_TTL_ENV",
+    "MISS",
+    "QUARANTINE_DIR",
+    "ResultCache",
+    "StoreOutcome",
+    "StoreStats",
+    "cache_key",
+    "chaos_from_env",
+    "default_job_dir",
+    "encode_entry",
+    "lease_ttl",
+    "payload_digest",
+    "publish_entry",
+    "quarantine",
+    "read_entry",
+    "replace_entry",
+]

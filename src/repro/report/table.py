@@ -98,6 +98,11 @@ def write_json(path: str, columns: list[str],
     mapping (name -> ``{"type": ..., ...}``); pass ``None`` for an empty
     block.  Shape mismatches raise instead of silently dropping fields
     from the row objects.
+
+    The envelope lands atomically (unique temp file + fsync +
+    ``os.replace``): a reader — or a crash — can never observe a torn
+    half-written artifact, which matters now that envelopes are written
+    by concurrent cooperating worker processes.
     """
     if len(set(columns)) != len(columns):
         raise ValueError(f"duplicate column names in {columns}")
@@ -118,6 +123,17 @@ def write_json(path: str, columns: list[str],
         "rows": [dict(zip(columns, row)) for row in rows],
         "metrics": dict(metrics or {}),
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    temp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(temp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:
+                pass  # durability denied: the rename still lands whole
+        os.replace(temp, path)
+    finally:
+        if os.path.exists(temp):
+            os.unlink(temp)

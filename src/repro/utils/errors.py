@@ -83,6 +83,17 @@ class ExecutorError(ReproError):
     """Resilient-executor misuse or unrecoverable scheduling failure."""
 
 
+class JobStoreError(ReproError):
+    """Durable job-store misuse or an unrecoverable job-dir state.
+
+    Recoverable damage — a torn result entry, a corrupt cache file, a
+    stale lease — is *never* raised: it is quarantined, counted and
+    repaired by recomputation.  This error marks the cases that cannot
+    be repaired automatically, e.g. pointing two different task lists at
+    the same job directory.
+    """
+
+
 class FaultCampaignError(ReproError):
     """Invalid fault-injection campaign specification."""
 

@@ -25,6 +25,41 @@ from tests.circuits import (
 )
 
 
+class TestOptionsDigest:
+    def test_digest_is_stable_and_order_independent(self):
+        base = DesyncOptions(margin=0.2, strategy="single")
+        # Keyword order is construction detail, not configuration.
+        reordered = DesyncOptions(strategy="single", margin=0.2)
+        assert base.digest() == reordered.digest()
+        assert len(base.digest()) == 64
+        int(base.digest(), 16)  # hex sha256
+
+    def test_explicit_defaults_equal_implicit_defaults(self):
+        implicit = DesyncOptions()
+        explicit = DesyncOptions(mode=HandshakeMode.OVERLAP,
+                                 validate_model=True, strategy="scc",
+                                 sync_banks=())
+        assert implicit.digest() == explicit.digest()
+
+    def test_normalized_forms_share_a_digest(self):
+        # String mode and list sync_banks normalize in __post_init__,
+        # so they must digest identically to the canonical forms.
+        assert DesyncOptions(mode="serial").digest() == \
+            DesyncOptions(mode=HandshakeMode.SERIAL).digest()
+        assert DesyncOptions(sync_banks=["r0"]).digest() == \
+            DesyncOptions(sync_banks=("r0",)).digest()
+
+    def test_any_semantic_change_changes_the_digest(self):
+        base = DesyncOptions()
+        assert base.digest() != DesyncOptions(margin=0.11).digest()
+        assert base.digest() != \
+            DesyncOptions(mode=HandshakeMode.SERIAL).digest()
+        assert base.digest() != \
+            DesyncOptions(validate_model=False).digest()
+        assert base.digest() != \
+            DesyncOptions(sync_banks=("r0",)).digest()
+
+
 class TestLatchify:
     def test_replaces_every_ff_with_latch_pair(self):
         sync = lfsr3()

@@ -160,12 +160,37 @@ class TestRunCells:
             handle.write(json.dumps({"key": "q", "status": "quarantined",
                                      "value": None, "attempts": 3}) + "\n")
             handle.write('{"key": "b", "status"')  # the kill landed here
-        restored = load_checkpoint(path)
+        restored, duplicates = load_checkpoint(path)
         assert set(restored) == {"a"}  # torn line dropped, quarantined
         assert restored["a"].value == 2  # lines get a fresh chance
+        assert duplicates == 0
+
+    def test_duplicated_trailing_line_deduped_keep_last(self, tmp_path):
+        # A kill between the fsynced append and the acknowledgement
+        # makes the restarted run re-append the same cell: the loader
+        # must dedupe by key, keep the last occurrence, and count it.
+        path = str(tmp_path / "cells.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"key": "a", "status": "ok",
+                                     "value": 2, "attempts": 1}) + "\n")
+            handle.write(json.dumps({"key": "b", "status": "ok",
+                                     "value": 4, "attempts": 1}) + "\n")
+            handle.write(json.dumps({"key": "b", "status": "ok",
+                                     "value": 4, "attempts": 2}) + "\n")
+        restored, duplicates = load_checkpoint(path)
+        assert set(restored) == {"a", "b"}
+        assert duplicates == 1
+        assert restored["b"].attempts == 2  # keep-last
+        # And a resumed run surfaces the count in its summary.
+        outcomes, stats = run_cells(
+            [("a", 1), ("b", 2)], double,
+            ExecutorPolicy(jobs=1, checkpoint=path, resume=True))
+        assert stats.resumed == 2
+        assert stats.checkpoint_duplicates == 1
+        assert stats.as_dict()["checkpoint_duplicates"] == 1
 
     def test_missing_checkpoint_is_empty(self, tmp_path):
-        assert load_checkpoint(str(tmp_path / "nope.jsonl")) == {}
+        assert load_checkpoint(str(tmp_path / "nope.jsonl")) == ({}, 0)
 
 
 class TestPolicyAndEnv:
@@ -178,6 +203,10 @@ class TestPolicyAndEnv:
             ExecutorPolicy(timeout=0.0)
         with pytest.raises(ExecutorError, match="checkpoint"):
             ExecutorPolicy(resume=True)
+        with pytest.raises(ExecutorError, match="mutually exclusive"):
+            ExecutorPolicy(job_dir="/tmp/jobs", checkpoint="/tmp/c.jsonl")
+        with pytest.raises(ExecutorError, match="lease_ttl"):
+            ExecutorPolicy(job_dir="/tmp/jobs", lease_ttl=0.0)
 
     def test_cell_timeout_env(self, monkeypatch):
         monkeypatch.delenv(CELL_TIMEOUT_ENV, raising=False)
